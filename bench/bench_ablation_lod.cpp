@@ -1,0 +1,76 @@
+// Ablation A7 (ours): the view-dependent multi-resolution (LOD) strategy
+// the paper contrasts against (Section III-B). LOD cuts I/O by rendering
+// far regions from coarse pyramid levels — but data-dependent operations
+// need full resolution, which is the paper's whole motivation. This bench
+// quantifies the trade: LOD-LRU at several aggressiveness settings vs
+// full-resolution LRU vs the application-aware method, reporting both I/O
+// cost and rendered fidelity.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/lod_pipeline.hpp"
+#include "volume/generators.hpp"
+
+using namespace vizcache;
+using namespace vizcache::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse("ablation_lod", argc, argv);
+  env.banner("Ablation: LOD baseline vs full-resolution staging");
+
+  WorkbenchSpec spec;
+  spec.dataset = DatasetId::kBall3d;
+  spec.scale = env.scale;
+  spec.target_blocks = 512;
+  spec.omega = {12, 24, 3, 2.5, 3.5};
+  spec.path_step_deg = 5.0;
+  Workbench wb(spec);
+
+  // Matching pyramid built from the same dataset.
+  Field3D level0 = rasterize(make_dataset(DatasetId::kBall3d, env.scale));
+  MipPyramid pyramid =
+      MipPyramid::build(std::move(level0), wb.grid().block_dims(), 4);
+
+  CameraPath path = random_path(4.0, 6.0, env.positions, env.seed);
+
+  TablePrinter table(
+      {"method", "miss_rate", "io(s)", "total(s)", "fidelity"});
+  CsvWriter csv(env.csv_path(),
+                {"method", "miss_rate", "io_s", "total_s", "fidelity"});
+
+  auto report = [&](const std::string& name, double miss, double io,
+                    double total, double fidelity) {
+    table.row({name, TablePrinter::fmt(miss, 4), TablePrinter::fmt(io, 3),
+               TablePrinter::fmt(total, 3), TablePrinter::fmt(fidelity, 3)});
+    csv.row({name, CsvWriter::to_cell(miss), CsvWriter::to_cell(io),
+             CsvWriter::to_cell(total), CsvWriter::to_cell(fidelity)});
+  };
+
+  RunResult lru = wb.run_baseline(PolicyKind::kLru, path);
+  report("LRU (full res)", lru.fast_miss_rate, lru.io_time, lru.total_time,
+         1.0);
+  RunResult opt = wb.run_app_aware(path);
+  report("OPT (full res)", opt.fast_miss_rate, opt.io_time, opt.total_time,
+         1.0);
+
+  struct LodSetting {
+    const char* name;
+    LodSelector selector;
+  };
+  for (const LodSetting& s :
+       {LodSetting{"LOD mild (base=3)", {3.0, 3}},
+        LodSetting{"LOD medium (base=2)", {2.0, 3}},
+        LodSetting{"LOD aggressive (base=1)", {1.0, 3}}}) {
+    LodPipeline pipeline(pyramid, s.selector, PolicyKind::kLru, 0.5);
+    LodRunResult r = pipeline.run(path);
+    report(s.name, r.fast_miss_rate, r.io_time, r.total_time,
+           r.mean_fidelity);
+  }
+
+  table.print("Ablation — LOD vs full-resolution staging");
+  std::cout << "(LOD buys I/O with fidelity; OPT keeps fidelity at 1.0 and "
+               "still undercuts full-res LRU via prediction + overlap — the "
+               "paper's data-dependent argument in numbers)\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation A4 (ours): data-dependent operations. The paper motivates its
+// policy with transfer-function / query retuning whose access patterns
+// conventional caches cannot anticipate (Section III-B); this bench
+// quantifies that: FIFO / LRU / OPT under (a) a static iso-surface query,
+// (b) a schedule that retunes the query every K steps, and (c) no query
+// (pure view-dependent), on the combustion stand-in.
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace vizcache;
+using namespace vizcache::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse("ablation_query", argc, argv);
+  env.banner("Ablation: view-only vs static query vs retuned queries");
+
+  WorkbenchSpec spec;
+  spec.dataset = DatasetId::kLiftedMixFrac;
+  spec.scale = env.scale;
+  spec.target_blocks = 512;
+  spec.omega = {12, 24, 3, 2.5, 3.5};
+  spec.path_step_deg = 7.5;
+  Workbench wb(spec);
+
+  CameraPath path = random_path(5.0, 10.0, env.positions, env.seed);
+
+  // Retune schedule: alternate between the flame sheet and the core band
+  // every `period` steps.
+  auto retune_schedule = [&](usize period) {
+    std::vector<QueryChange> changes;
+    for (usize s = 0; s < env.positions; s += period) {
+      bool sheet = (s / period) % 2 == 0;
+      changes.push_back(
+          {s, sheet ? RegionQuery::iso_surface(0, 0.5f, 0.08f)
+                    : RegionQuery::range(0, 0.85f, 1.0f)});
+    }
+    return QuerySchedule(changes);
+  };
+
+  QuerySchedule static_iso({{0, RegionQuery::iso_surface(0, 0.5f, 0.08f)}});
+  QuerySchedule retune_slow = retune_schedule(std::max<usize>(1, env.positions / 4));
+  QuerySchedule retune_fast = retune_schedule(std::max<usize>(1, env.positions / 16));
+
+  TablePrinter table({"workload", "method", "miss_rate", "io(s)", "total(s)"});
+  CsvWriter csv(env.csv_path(),
+                {"workload", "method", "miss_rate", "io_s", "total_s"});
+
+  auto run_workload = [&](const std::string& name,
+                          const QuerySchedule* sched) {
+    struct Row {
+      const char* method;
+      RunResult result;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"FIFO", wb.run_baseline(PolicyKind::kFifo, path, sched)});
+    rows.push_back({"LRU", wb.run_baseline(PolicyKind::kLru, path, sched)});
+    rows.push_back({"OPT", wb.run_app_aware(path, sched)});
+    for (const Row& r : rows) {
+      table.row({name, r.method, TablePrinter::fmt(r.result.fast_miss_rate, 4),
+                 TablePrinter::fmt(r.result.io_time, 3),
+                 TablePrinter::fmt(r.result.total_time, 3)});
+      csv.row({name, r.method, CsvWriter::to_cell(r.result.fast_miss_rate),
+               CsvWriter::to_cell(r.result.io_time),
+               CsvWriter::to_cell(r.result.total_time)});
+    }
+  };
+
+  run_workload("view-only", nullptr);
+  run_workload("static-iso", &static_iso);
+  run_workload("retune-slow", &retune_slow);
+  run_workload("retune-fast", &retune_fast);
+
+  table.print("Ablation — data-dependent query workloads");
+  std::cout << "(query retuning shifts the working set; OPT's preloaded "
+               "important blocks keep serving because the flame sheet is "
+               "exactly the high-entropy region)\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Fig. 12: miss rate across (a) a spherical path with different
+// degree intervals and (b) a random path with different degree-change
+// ranges, on 3d_ball divided into 2048 blocks, for FIFO / LRU / OPT.
+//
+// Expected shape (paper): (a) at 1 degree OPT is ~1/4 of FIFO/LRU; miss
+// rates grow with the interval; OPT stays under half of the baselines over
+// the small-step range. (b) on random paths OPT ~1/3 of FIFO and ~1/2 of
+// LRU overall.
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace vizcache;
+using namespace vizcache::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse("fig12_paths", argc, argv);
+  env.banner("Fig. 12: miss rate across spherical (a) and random (b) paths");
+
+  WorkbenchSpec spec;
+  spec.dataset = DatasetId::kBall3d;
+  spec.scale = env.scale;
+  spec.target_blocks = 2048;
+  spec.omega = {12, 24, 3, 2.5, 3.5};
+  spec.vicinal_samples = 6;
+  Workbench wb(spec);
+
+  std::vector<double> spherical_degs{1, 5, 10, 15, 20, 25, 30, 45};
+  std::vector<std::pair<double, double>> random_ranges{
+      {0, 5}, {5, 10}, {10, 15}, {15, 20}, {20, 25}, {25, 30}, {30, 35}};
+  if (env.quick) {
+    spherical_degs = {1, 15};
+    random_ranges = {{10, 15}};
+  }
+
+  TablePrinter table(
+      {"path", "degrees", "FIFO", "LRU", "OPT", "OPT/LRU", "OPT/FIFO"});
+  CsvWriter csv(env.csv_path(), {"path_kind", "degrees", "fifo_miss",
+                                 "lru_miss", "opt_miss"});
+
+  auto run_point = [&](const std::string& kind, const std::string& label,
+                       const CameraPath& path) {
+    double fifo = wb.run_baseline(PolicyKind::kFifo, path).fast_miss_rate;
+    double lru = wb.run_baseline(PolicyKind::kLru, path).fast_miss_rate;
+    double opt = wb.run_app_aware(path).fast_miss_rate;
+    auto ratio = [&](double base) {
+      return base > 0.0 ? TablePrinter::fmt(opt / base, 2) : std::string("-");
+    };
+    table.row({kind, label, TablePrinter::fmt(fifo, 4),
+               TablePrinter::fmt(lru, 4), TablePrinter::fmt(opt, 4),
+               ratio(lru), ratio(fifo)});
+    csv.row({kind, label, CsvWriter::to_cell(fifo), CsvWriter::to_cell(lru),
+             CsvWriter::to_cell(opt)});
+  };
+
+  for (double deg : spherical_degs) {
+    wb.set_path_step_deg(deg);
+    run_point("spherical", TablePrinter::fmt(deg, 0),
+              spherical_path(deg, env.positions));
+  }
+  for (auto [lo, hi] : random_ranges) {
+    wb.set_path_step_deg(0.5 * (lo + hi));
+    run_point("random", degree_range_label(lo, hi),
+              random_path(lo, hi, env.positions, env.seed));
+  }
+
+  table.print("Fig. 12 — miss rate by camera path");
+  std::cout << "(OPT/LRU and OPT/FIFO well below 1 at small degree changes; "
+               "paper reports ~0.25 at 1 deg spherical)\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Climate analytics: the *data-dependent* workload of the paper's Fig. 3.
+//
+// A scientist explores the multivariate, time-varying climate stand-in
+// dataset along a camera path. For every view, the blocks seen from that
+// view are analyzed at full resolution: per-variable histograms (QVAPOR,
+// wind magnitude, smoke) and the cross-variable correlation matrix — the
+// statistics panels the paper shows beside each rendered frame. These
+// operations need every voxel of the visible region, which is exactly why
+// the paper's policy must stage full-resolution blocks rather than LOD
+// approximations.
+//
+// Run:  ./climate_analytics [views=6] [vars=8] [timesteps=3]
+
+#include <iostream>
+
+#include "core/importance.hpp"
+#include "core/visibility.hpp"
+#include "geom/path.hpp"
+#include "render/analytics.hpp"
+#include "util/config.hpp"
+#include "util/table_printer.hpp"
+#include "volume/datasets.hpp"
+
+using namespace vizcache;
+
+namespace {
+
+/// Compact console sparkline for a histogram.
+std::string sparkline(const Histogram& h, usize buckets = 24) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::string out;
+  usize per = std::max<usize>(1, h.bin_count() / buckets);
+  u64 peak = 1;
+  for (usize b = 0; b < h.bin_count(); ++b) peak = std::max(peak, h.count(b));
+  for (usize b = 0; b + per <= h.bin_count(); b += per) {
+    u64 sum = 0;
+    for (usize i = 0; i < per; ++i) sum += h.count(b + i);
+    usize level = static_cast<usize>(7.0 * static_cast<double>(sum) /
+                                     static_cast<double>(peak * per));
+    out += levels[std::min<usize>(level, 7)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg = Config::from_args(argc, argv);
+  usize views = static_cast<usize>(cfg.get_int("views", 6));
+  usize vars = static_cast<usize>(cfg.get_int("vars", 8));
+  usize steps = static_cast<usize>(cfg.get_int("timesteps", 3));
+
+  const char* var_names[] = {"QVAPOR", "wind", "smoke/PM10", "temperature"};
+
+  std::cout << "building climate dataset (" << vars << " variables, " << steps
+            << " timesteps) ...\n";
+  SyntheticVolume climate = make_climate_volume({64, 56, 24}, vars, steps, 13);
+  BlockGrid grid = BlockGrid::with_target_block_count(climate.desc.dims, 256);
+  SyntheticBlockStore store(climate, grid.block_dims());
+  BlockBoundsIndex bounds(grid);
+
+  // Importance over the wind field highlights the typhoon region —
+  // Observation 2: scientists focus on the vortex/smoke interplay.
+  ImportanceTable importance = ImportanceTable::build(store, 64, 1, 0);
+  std::cout << "entropy over wind field: mean "
+            << TablePrinter::fmt(importance.mean_entropy(), 2) << " bits, max "
+            << TablePrinter::fmt(importance.max_entropy(), 2) << " bits\n\n";
+
+  // A camera path like Fig. 2's dotted orbit around the region of interest.
+  SphericalPathSpec ps;
+  ps.step_deg = 360.0 / static_cast<double>(views);
+  ps.positions = views;
+  ps.distance = 2.8;
+  ps.view_angle_deg = 25.0;
+  CameraPath path = make_spherical_path(ps);
+
+  for (usize v = 0; v < path.size(); ++v) {
+    usize t = (v * steps) / path.size();  // time advances along the path
+    std::vector<BlockId> visible = bounds.visible_blocks(path[v]);
+
+    usize analyzed_vars = std::min<usize>(vars, 4);
+    RegionAnalytics a =
+        analyze_region(store, visible, analyzed_vars, t, 0.0, 1.2, 48, 2);
+
+    std::cout << "view " << v << " (timestep " << t << ", "
+              << visible.size() << " visible blocks, " << a.voxels_analyzed
+              << " voxels)\n";
+    for (usize i = 0; i < analyzed_vars; ++i) {
+      std::cout << "  " << var_names[i % 4] << (i >= 4 ? "+" : "") << "\t|"
+                << sparkline(a.histograms[i]) << "|\n";
+    }
+    std::cout << "  correlation matrix:\n";
+    for (usize i = 0; i < analyzed_vars; ++i) {
+      std::cout << "    ";
+      for (usize j = 0; j < analyzed_vars; ++j) {
+        std::cout << TablePrinter::fmt(a.correlation.correlation(i, j), 2)
+                  << (j + 1 < analyzed_vars ? "  " : "");
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "Analytics recomputed per view over full-resolution visible "
+               "blocks —\nthe data-dependent operation class that motivates "
+               "application-aware staging.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Policy comparison: configurable head-to-head of every replacement policy
+// (the paper's FIFO/LRU baselines, the extension zoo, Belady's offline
+// optimum, and the application-aware method) on any Table I dataset.
+//
+// Run:  ./policy_comparison [dataset=3d_ball|lifted_mix_frac|lifted_rr|climate]
+//         [path=random|spherical] [degrees=5] [blocks=1024] [ratio=0.5]
+//         [positions=200] [scale=0.1] [policies=fifo,lru,arc,...]
+
+#include <iostream>
+#include <sstream>
+
+#include "core/workbench.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/table_printer.hpp"
+#include "util/units.hpp"
+
+using namespace vizcache;
+
+namespace {
+
+DatasetId parse_dataset(const std::string& name) {
+  for (DatasetId id : all_datasets()) {
+    if (name == dataset_name(id)) return id;
+  }
+  throw InvalidArgument("unknown dataset: " + name);
+}
+
+std::vector<PolicyKind> parse_policies(const std::string& csv) {
+  std::vector<PolicyKind> out;
+  std::istringstream is(csv);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) out.push_back(parse_policy_kind(token));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg = Config::from_args(argc, argv);
+
+  WorkbenchSpec spec;
+  spec.dataset = parse_dataset(cfg.get_string("dataset", "3d_ball"));
+  spec.scale = cfg.get_double("scale", 0.1);
+  spec.target_blocks = static_cast<usize>(cfg.get_int("blocks", 1024));
+  spec.cache_ratio = cfg.get_double("ratio", 0.5);
+  spec.omega = {12, 24, 3, 2.5, 3.5};
+
+  double degrees = cfg.get_double("degrees", 5.0);
+  spec.path_step_deg = degrees;
+
+  std::cout << "building workbench for " << dataset_name(spec.dataset)
+            << " ...\n";
+  Workbench bench(spec);
+  std::cout << "  " << bench.grid().block_count() << " blocks, dataset "
+            << format_bytes(bench.dataset_bytes()) << ", DRAM cache "
+            << format_bytes(static_cast<u64>(
+                   static_cast<double>(bench.dataset_bytes()) *
+                   spec.cache_ratio * spec.cache_ratio))
+            << "\n\n";
+
+  usize positions = static_cast<usize>(cfg.get_int("positions", 200));
+  CameraPath path;
+  if (cfg.get_string("path", "random") == "spherical") {
+    SphericalPathSpec ps;
+    ps.step_deg = degrees;
+    ps.positions = positions;
+    path = make_spherical_path(ps);
+  } else {
+    RandomPathSpec rp;
+    rp.step_min_deg = std::max(0.0, degrees - 2.5);
+    rp.step_max_deg = degrees + 2.5;
+    rp.positions = positions;
+    rp.seed = static_cast<u64>(cfg.get_int("seed", 42));
+    path = make_random_path(rp);
+  }
+
+  std::vector<PolicyKind> policies = parse_policies(cfg.get_string(
+      "policies", "fifo,lru,mru,clock,lfu,arc,2q"));
+
+  TablePrinter table({"policy", "miss_rate", "total_miss", "io(s)",
+                      "prefetch(s)", "total(s)", "hdd_reads"});
+  auto report = [&](const std::string& name, const RunResult& r) {
+    table.row({name, TablePrinter::fmt(r.fast_miss_rate, 4),
+               TablePrinter::fmt(r.total_miss_rate, 4),
+               TablePrinter::fmt(r.io_time, 2),
+               TablePrinter::fmt(r.prefetch_time, 2),
+               TablePrinter::fmt(r.total_time, 2),
+               std::to_string(r.hierarchy.backing_reads)});
+  };
+
+  for (PolicyKind kind : policies) {
+    report(policy_kind_name(kind), bench.run_baseline(kind, path));
+  }
+  report("BELADY(oracle)", bench.run_belady(path));
+  report("OPT(app-aware)", bench.run_app_aware(path));
+
+  std::ostringstream title;
+  title << dataset_name(spec.dataset) << ", "
+        << cfg.get_string("path", "random") << " path @ " << degrees
+        << " deg, " << positions << " positions, ratio " << spec.cache_ratio;
+  table.print(title.str());
+  return 0;
+}

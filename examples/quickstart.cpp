@@ -1,0 +1,73 @@
+// Quickstart: the vizcache public API in ~60 lines.
+//
+// Builds a synthetic dataset, partitions it into blocks, constructs the two
+// application-aware tables (T_visible and T_important), and compares the
+// application-aware pipeline against plain LRU on a random exploration
+// path — the core experiment of the paper, end to end.
+//
+// Run:  ./quickstart [scale=0.1] [blocks=512] [positions=200]
+
+#include <iostream>
+
+#include "core/workbench.hpp"
+#include "util/config.hpp"
+#include "util/table_printer.hpp"
+#include "util/units.hpp"
+
+using namespace vizcache;
+
+int main(int argc, char** argv) {
+  Config cfg = Config::from_args(argc, argv);
+
+  // 1. Describe the experiment: dataset, block granularity, cache sizes,
+  //    and the Omega sampling lattice for T_visible.
+  WorkbenchSpec spec;
+  spec.dataset = DatasetId::kBall3d;
+  spec.scale = cfg.get_double("scale", 0.1);
+  spec.target_blocks = static_cast<usize>(cfg.get_int("blocks", 512));
+  spec.cache_ratio = cfg.get_double("ratio", 0.5);
+
+  // 2. Build everything: the block store, per-block entropies
+  //    (T_important), and the camera-sampling visibility table (T_visible).
+  Workbench bench(spec);
+  std::cout << "dataset   : " << bench.store().desc().name << " "
+            << bench.store().desc().dims.to_string() << " ("
+            << format_bytes(bench.dataset_bytes()) << ")\n"
+            << "blocks    : " << bench.grid().block_count() << " of "
+            << bench.grid().block_dims().to_string() << " voxels\n"
+            << "T_visible : " << bench.table().entry_count() << " entries, "
+            << TablePrinter::fmt(bench.table().mean_entry_size(), 1)
+            << " blocks/entry\n"
+            << "sigma     : " << TablePrinter::fmt(bench.sigma_bits(), 3)
+            << " bits\n\n";
+
+  // 3. A user exploring the volume: a random path of camera positions.
+  RandomPathSpec path_spec;
+  path_spec.step_min_deg = 4.0;
+  path_spec.step_max_deg = 6.0;
+  path_spec.positions = static_cast<usize>(cfg.get_int("positions", 200));
+  CameraPath path = make_random_path(path_spec);
+  bench.set_path_step_deg(5.0);
+
+  // 4. Run the baselines and the application-aware method over the same
+  //    path, each on a cold three-level hierarchy (DRAM / SSD / HDD model).
+  TablePrinter table({"method", "miss_rate", "io(s)", "prefetch(s)",
+                      "render(s)", "total(s)"});
+  auto report = [&](const std::string& name, const RunResult& r) {
+    table.row({name, TablePrinter::fmt(r.fast_miss_rate, 4),
+               TablePrinter::fmt(r.io_time, 2),
+               TablePrinter::fmt(r.prefetch_time, 2),
+               TablePrinter::fmt(r.render_time, 2),
+               TablePrinter::fmt(r.total_time, 2)});
+  };
+  report("FIFO", bench.run_baseline(PolicyKind::kFifo, path));
+  report("LRU", bench.run_baseline(PolicyKind::kLru, path));
+  report("OPT (app-aware)", bench.run_app_aware(path));
+  table.print("vizcache quickstart — " + std::to_string(path.size()) +
+              " camera positions");
+
+  std::cout << "\nOPT preloads important blocks, predicts the next view via "
+               "T_visible,\nand overlaps prefetching with rendering — hence "
+               "lower io and total time.\n";
+  return 0;
+}

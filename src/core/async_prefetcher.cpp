@@ -1,0 +1,101 @@
+#include "core/async_prefetcher.hpp"
+
+namespace vizcache {
+
+AsyncPrefetcher::AsyncPrefetcher(const BlockStore& store, usize threads)
+    : store_(store), pool_(threads) {}
+
+AsyncPrefetcher::~AsyncPrefetcher() { pool_.wait_idle(); }
+
+void AsyncPrefetcher::request(std::span<const BlockId> blocks, usize var,
+                              usize timestep) {
+  std::vector<BlockId> to_load;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (BlockId id : blocks) {
+      if (cache_.count(id) || in_flight_.count(id)) continue;
+      in_flight_.insert(id);
+      to_load.push_back(id);
+    }
+  }
+  for (BlockId id : to_load) {
+    pool_.submit([this, id, var, timestep] {
+      // A failed background load must not wedge the block in the in-flight
+      // set: record the failure and let a later demand read retry (and
+      // surface the error synchronously if it persists).
+      try {
+        std::vector<float> payload = store_.read_block(id, var, timestep);
+        store_payload(id, std::move(payload), /*prefetch=*/true);
+      } catch (const std::exception&) {
+        note_failure(id);
+      }
+    });
+  }
+}
+
+AsyncPrefetcher::Payload AsyncPrefetcher::get_if_ready(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(id);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
+AsyncPrefetcher::Payload AsyncPrefetcher::get_blocking(BlockId id, usize var,
+                                                       usize timestep) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(id);
+    if (it != cache_.end()) {
+      ++stats_.demand_hits;
+      return it->second;
+    }
+    ++stats_.demand_misses;
+  }
+  // Synchronous demand load. A racing prefetch of the same block is
+  // harmless: store_payload keeps whichever lands first.
+  std::vector<float> payload = store_.read_block(id, var, timestep);
+  store_payload(id, std::move(payload), /*prefetch=*/false);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.at(id);
+}
+
+void AsyncPrefetcher::drain() { pool_.wait_idle(); }
+
+void AsyncPrefetcher::evict_except(const std::unordered_set<BlockId>& keep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (keep.count(it->first)) {
+      ++it;
+    } else {
+      it = cache_.erase(it);
+    }
+  }
+}
+
+usize AsyncPrefetcher::cached_blocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+AsyncPrefetcher::Stats AsyncPrefetcher::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AsyncPrefetcher::note_failure(BlockId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_flight_.erase(id);
+  ++stats_.failures;
+}
+
+void AsyncPrefetcher::store_payload(BlockId id, std::vector<float> payload,
+                                    bool prefetch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_flight_.erase(id);
+  if (!cache_.count(id)) {
+    cache_[id] =
+        std::make_shared<const std::vector<float>>(std::move(payload));
+  }
+  if (prefetch) ++stats_.prefetched;
+}
+
+}  // namespace vizcache

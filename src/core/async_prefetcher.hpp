@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "volume/block_store.hpp"
+
+namespace vizcache {
+
+/// Real-thread prefetch engine used by the example applications: overlaps
+/// block loading (from any BlockStore, e.g. disk bricks) with rendering on
+/// the main thread — the live counterpart of the simulated overlap model in
+/// VizPipeline. Payloads are cached in memory until evicted.
+class AsyncPrefetcher {
+ public:
+  using Payload = std::shared_ptr<const std::vector<float>>;
+
+  /// `threads`: number of background loader threads.
+  AsyncPrefetcher(const BlockStore& store, usize threads = 2);
+  ~AsyncPrefetcher();
+
+  /// Queue background loads for blocks not yet cached or in flight.
+  void request(std::span<const BlockId> blocks, usize var = 0,
+               usize timestep = 0);
+
+  /// Payload if already cached, nullptr otherwise (never blocks).
+  Payload get_if_ready(BlockId id) const;
+
+  /// Payload, loading synchronously on miss (counts a demand miss).
+  Payload get_blocking(BlockId id, usize var = 0, usize timestep = 0);
+
+  /// Wait for all queued prefetches to land.
+  void drain();
+
+  /// Drop all cached payloads except `keep`.
+  void evict_except(const std::unordered_set<BlockId>& keep);
+
+  usize cached_blocks() const;
+
+  struct Stats {
+    u64 demand_hits = 0;    ///< get_blocking served from cache
+    u64 demand_misses = 0;  ///< get_blocking had to load synchronously
+    u64 prefetched = 0;     ///< background loads completed
+    u64 failures = 0;       ///< background loads that threw (I/O errors)
+  };
+  Stats stats() const;
+
+ private:
+  void store_payload(BlockId id, std::vector<float> payload, bool prefetch);
+  void note_failure(BlockId id);
+
+  const BlockStore& store_;
+  ThreadPool pool_;
+  mutable std::mutex mutex_;
+  std::unordered_map<BlockId, Payload> cache_;
+  std::unordered_set<BlockId> in_flight_;
+  Stats stats_;
+};
+
+}  // namespace vizcache

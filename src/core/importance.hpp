@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "volume/block_store.hpp"
+
+namespace vizcache {
+
+/// T_important (paper Section IV-C): per-block Shannon entropy over a
+/// binning of the dataset's global value range, plus the descending-entropy
+/// ranking used for preloading and prediction trimming. High-entropy blocks
+/// carry the scientifically interesting structure; near-constant ambient
+/// blocks score ~0.
+class ImportanceTable {
+ public:
+  /// Scan every block of (var, timestep) once: first pass finds the global
+  /// value range, second computes per-block histogram entropies with `bins`
+  /// equal bins over that range.
+  static ImportanceTable build(const BlockStore& store, usize bins = 256,
+                               usize var = 0, usize timestep = 0);
+
+  /// Alternative metric: mean gradient magnitude per block (central
+  /// differences inside the brick). High-gradient blocks carry surfaces and
+  /// fronts; used by the importance-metric ablation to probe the paper's
+  /// choice of Shannon entropy. Scores land in the same table type so every
+  /// consumer (preload, trimming, prefetch filter) works unchanged.
+  static ImportanceTable build_gradient(const BlockStore& store,
+                                        usize var = 0, usize timestep = 0);
+
+  /// Degenerate baseline: a deterministic pseudo-random ranking (scores in
+  /// (0, 1)). Importance-blind control for ablations.
+  static ImportanceTable build_random(usize block_count, u64 seed = 1);
+
+  usize block_count() const { return entropy_bits_.size(); }
+
+  /// Entropy of one block in bits.
+  double entropy(BlockId id) const;
+
+  /// Block ids sorted by descending entropy (ties by ascending id).
+  const std::vector<BlockId>& ranked() const { return ranked_; }
+
+  /// The `k` highest-entropy blocks.
+  std::vector<BlockId> top_k(usize k) const;
+
+  /// All blocks with entropy strictly above `sigma_bits`.
+  std::vector<BlockId> above_threshold(double sigma_bits) const;
+
+  /// Threshold sigma such that about `fraction` of blocks lie above it
+  /// (fraction in [0, 1]; 0 keeps everything with sigma = -inf sentinel -1).
+  double threshold_for_fraction(double fraction) const;
+
+  double min_entropy() const;
+  double max_entropy() const;
+  double mean_entropy() const;
+
+  /// Binary serialization for reuse across runs (the paper computes the
+  /// table once as pre-processing).
+  void save(const std::string& path) const;
+  static ImportanceTable load(const std::string& path);
+
+ private:
+  std::vector<double> entropy_bits_;
+  std::vector<BlockId> ranked_;
+
+  void build_ranking();
+};
+
+}  // namespace vizcache

@@ -1,0 +1,160 @@
+#include "core/parallel_pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+ParallelPipeline::ParallelPipeline(const BlockGrid& grid, Partition partition,
+                                   PipelineConfig config, double cache_ratio,
+                                   const VisibilityTable* table,
+                                   const ImportanceTable* importance)
+    : grid_(grid),
+      partition_(std::move(partition)),
+      config_(config),
+      importance_(importance),
+      table_(table),
+      bounds_(grid) {
+  VIZ_REQUIRE(partition_.block_count() == grid.block_count(),
+              "partition/grid block count mismatch");
+  if (config_.app_aware) {
+    VIZ_REQUIRE(table_ != nullptr && importance_ != nullptr,
+                "app-aware parallel pipeline needs both tables");
+  }
+  // Each worker owns 1/N of the dataset and 1/N of every cache level.
+  u64 dataset_bytes = 0;
+  for (BlockId id = 0; id < grid.block_count(); ++id) {
+    dataset_bytes += grid.block_bytes(id);
+  }
+  const usize n = partition_.worker_count();
+  hierarchies_.reserve(n);
+  for (usize w = 0; w < n; ++w) {
+    hierarchies_.push_back(MemoryHierarchy::paper_testbed(
+        std::max<u64>(1, dataset_bytes / n), cache_ratio, config_.policy,
+        [g = &grid_](BlockId id) { return g->block_bytes(id); }));
+  }
+}
+
+ParallelRunResult ParallelPipeline::run(const CameraPath& path) {
+  VIZ_REQUIRE(!path.empty(), "empty camera path");
+  const usize n = partition_.worker_count();
+  for (MemoryHierarchy& h : hierarchies_) h.reset();
+
+  ParallelRunResult result;
+  result.workers.assign(n, {});
+  result.steps.reserve(path.size());
+
+  // Preload: each worker stages its own most-important blocks.
+  if (config_.app_aware && config_.preload_important) {
+    std::vector<u64> budget(n);
+    for (usize w = 0; w < n; ++w) {
+      budget[w] = hierarchies_[w].cache(0).capacity_bytes();
+    }
+    for (BlockId id : importance_->ranked()) {
+      if (importance_->entropy(id) <= config_.sigma_bits) break;
+      u32 w = partition_.owner(id);
+      const u64 bytes = grid_.block_bytes(id);
+      if (bytes > budget[w]) continue;
+      hierarchies_[w].preload(id);
+      budget[w] -= bytes;
+    }
+  }
+
+  SimSeconds summed_io_work = 0.0;  // for fetch_speedup
+
+  for (usize i = 0; i < path.size(); ++i) {
+    const u64 step = i + 1;
+    StepResult sr;
+    sr.step = step;
+
+    std::vector<BlockId> visible = bounds_.visible_blocks(path[i]);
+    sr.visible_blocks = visible.size();
+
+    // Demand fetch: each worker pulls its share concurrently.
+    std::vector<SimSeconds> worker_io(n, 0.0);
+    std::vector<usize> worker_blocks(n, 0);
+    for (BlockId id : visible) {
+      u32 w = partition_.owner(id);
+      if (!hierarchies_[w].resident_fast(id)) ++sr.fast_misses;
+      SimSeconds t = hierarchies_[w].fetch(id, step);
+      worker_io[w] += t;
+      ++worker_blocks[w];
+      result.workers[w].entropy_load +=
+          importance_ ? importance_->entropy(id) : 0.0;
+    }
+    for (usize w = 0; w < n; ++w) {
+      result.workers[w].io_time += worker_io[w];
+      result.workers[w].blocks_fetched += worker_blocks[w];
+      summed_io_work += worker_io[w];
+    }
+    sr.io_time = *std::max_element(worker_io.begin(), worker_io.end());
+
+    // Rendering is parallel too: the frame takes as long as the worker with
+    // the largest visible share (plus compositing ~ the base cost).
+    usize max_share = *std::max_element(worker_blocks.begin(), worker_blocks.end());
+    sr.render_time = config_.render_model.frame_time(max_share);
+
+    if (config_.app_aware) {
+      sr.lookup_time = table_->lookup_time(config_.lookup_cost);
+      const std::vector<BlockId>& predicted = table_->query(path[i].position());
+
+      std::vector<SimSeconds> worker_pf(n, 0.0);
+      std::vector<u64> budget(n);
+      for (usize w = 0; w < n; ++w) {
+        u64 cap = hierarchies_[w].cache(0).capacity_bytes();
+        u64 used = 0;
+        for (BlockId id : visible) {
+          if (partition_.owner(id) == w) used += grid_.block_bytes(id);
+        }
+        budget[w] = cap > used ? cap - used : 0;
+      }
+      std::vector<BlockId> candidates;
+      for (BlockId id : predicted) {
+        if (importance_->entropy(id) <= config_.sigma_bits) continue;
+        if (hierarchies_[partition_.owner(id)].resident_fast(id)) continue;
+        candidates.push_back(id);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [this](BlockId a, BlockId b) {
+                  return importance_->entropy(a) > importance_->entropy(b);
+                });
+      for (BlockId id : candidates) {
+        u32 w = partition_.owner(id);
+        const u64 bytes = grid_.block_bytes(id);
+        if (bytes > budget[w]) continue;  // this worker is full; others may fit
+        budget[w] -= bytes;
+        SimSeconds t = hierarchies_[w].prefetch(id, step);
+        worker_pf[w] += t;
+        result.workers[w].prefetch_time += t;
+        ++sr.prefetched;
+      }
+      sr.prefetch_time = *std::max_element(worker_pf.begin(), worker_pf.end());
+      sr.total_time = sr.io_time +
+                      std::max(sr.render_time, sr.lookup_time + sr.prefetch_time);
+    } else {
+      sr.total_time = sr.io_time + sr.render_time;
+    }
+
+    result.steps.push_back(sr);
+  }
+
+  u64 lookups = 0, misses = 0;
+  for (const MemoryHierarchy& h : hierarchies_) {
+    lookups += h.stats().level[0].lookups();
+    misses += h.stats().level[0].misses;
+  }
+  result.fast_miss_rate =
+      lookups ? static_cast<double>(misses) / static_cast<double>(lookups) : 0.0;
+  for (const StepResult& s : result.steps) {
+    result.io_time += s.io_time;
+    result.prefetch_time += s.prefetch_time;
+    result.render_time += s.render_time;
+    result.total_time += s.total_time;
+  }
+  result.fetch_speedup =
+      result.io_time > 0.0 ? summed_io_work / result.io_time : 1.0;
+  return result;
+}
+
+}  // namespace vizcache

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "core/partitioner.hpp"
+#include "core/pipeline.hpp"
+
+namespace vizcache {
+
+/// Per-worker aggregate of a parallel run.
+struct WorkerStats {
+  u64 blocks_fetched = 0;
+  SimSeconds io_time = 0.0;
+  SimSeconds prefetch_time = 0.0;
+  double entropy_load = 0.0;  ///< summed entropy of demand-fetched blocks
+};
+
+/// Whole-run result of a parallel exploration.
+struct ParallelRunResult {
+  std::vector<StepResult> steps;
+  std::vector<WorkerStats> workers;
+  double fast_miss_rate = 0.0;
+  SimSeconds io_time = 0.0;       ///< sum over steps of per-step makespans
+  SimSeconds prefetch_time = 0.0; ///< idem for prefetch makespans
+  SimSeconds render_time = 0.0;
+  SimSeconds total_time = 0.0;
+
+  /// Ratio of the summed single-worker work to the makespan-time — the
+  /// effective parallel speedup achieved by the partitioning.
+  double fetch_speedup = 1.0;
+};
+
+/// Parallel fetch/render simulation (the paper's future work, Section VI):
+/// N workers each own a partition of the blocks, hold their own slice of
+/// the memory hierarchy (capacity split evenly), and fetch/render their
+/// share of every view concurrently. A step's I/O time is the *makespan* —
+/// the slowest worker — so balance of the per-view working set across
+/// workers is what determines parallel efficiency.
+class ParallelPipeline {
+ public:
+  /// The app-aware variant needs `table` + `importance` (as VizPipeline).
+  ParallelPipeline(const BlockGrid& grid, Partition partition,
+                   PipelineConfig config, double cache_ratio,
+                   const VisibilityTable* table = nullptr,
+                   const ImportanceTable* importance = nullptr);
+
+  ParallelRunResult run(const CameraPath& path);
+
+  usize worker_count() const { return partition_.worker_count(); }
+
+ private:
+  const BlockGrid& grid_;
+  Partition partition_;
+  PipelineConfig config_;
+  const ImportanceTable* importance_;
+  const VisibilityTable* table_;
+  BlockBoundsIndex bounds_;
+  std::vector<MemoryHierarchy> hierarchies_;  ///< one per worker
+};
+
+}  // namespace vizcache

@@ -1,0 +1,127 @@
+#include "core/partitioner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+Partition::Partition(std::vector<u32> owner, usize worker_count)
+    : owner_(std::move(owner)), workers_(worker_count) {
+  VIZ_REQUIRE(workers_ >= 1, "need at least one worker");
+  for (u32 w : owner_) {
+    VIZ_REQUIRE(w < workers_, "owner index out of range");
+  }
+}
+
+u32 Partition::owner(BlockId id) const {
+  VIZ_REQUIRE(id < owner_.size(), "block id out of range");
+  return owner_[id];
+}
+
+std::vector<BlockId> Partition::blocks_of(u32 worker) const {
+  VIZ_REQUIRE(worker < workers_, "worker index out of range");
+  std::vector<BlockId> out;
+  for (BlockId id = 0; id < owner_.size(); ++id) {
+    if (owner_[id] == worker) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<double> Partition::worker_loads(
+    const std::vector<double>& weight) const {
+  VIZ_REQUIRE(weight.size() == owner_.size(), "weight arity mismatch");
+  std::vector<double> loads(workers_, 0.0);
+  for (BlockId id = 0; id < owner_.size(); ++id) {
+    loads[owner_[id]] += weight[id];
+  }
+  return loads;
+}
+
+double Partition::imbalance(const std::vector<double>& loads) {
+  if (loads.empty()) return 1.0;
+  double sum = std::accumulate(loads.begin(), loads.end(), 0.0);
+  double mean = sum / static_cast<double>(loads.size());
+  if (mean <= 0.0) return 1.0;
+  return *std::max_element(loads.begin(), loads.end()) / mean;
+}
+
+Partition partition_round_robin(const BlockGrid& grid, usize workers) {
+  VIZ_REQUIRE(workers >= 1, "need at least one worker");
+  std::vector<u32> owner(grid.block_count());
+  for (BlockId id = 0; id < owner.size(); ++id) {
+    owner[id] = static_cast<u32>(id % workers);
+  }
+  return Partition(std::move(owner), workers);
+}
+
+Partition partition_spatial_slabs(const BlockGrid& grid, usize workers) {
+  VIZ_REQUIRE(workers >= 1, "need at least one worker");
+  const Dims3& g = grid.grid_dims();
+  // Slab along the axis with the most blocks for the finest granularity.
+  usize axis = 2;
+  if (g.x >= g.y && g.x >= g.z) {
+    axis = 0;
+  } else if (g.y >= g.x && g.y >= g.z) {
+    axis = 1;
+  }
+  usize extent = axis == 0 ? g.x : axis == 1 ? g.y : g.z;
+  std::vector<u32> owner(grid.block_count());
+  for (BlockId id = 0; id < owner.size(); ++id) {
+    BlockCoord c = grid.coord_of(id);
+    usize pos = axis == 0 ? c.bx : axis == 1 ? c.by : c.bz;
+    owner[id] = static_cast<u32>(std::min(workers - 1, pos * workers / extent));
+  }
+  return Partition(std::move(owner), workers);
+}
+
+Partition partition_importance_balanced(const BlockGrid& grid,
+                                        const ImportanceTable& importance,
+                                        usize workers) {
+  VIZ_REQUIRE(workers >= 1, "need at least one worker");
+  VIZ_REQUIRE(importance.block_count() == grid.block_count(),
+              "importance table size mismatch");
+  std::vector<u32> owner(grid.block_count(), 0);
+  std::vector<double> load(workers, 0.0);
+  // Every block carries a uniform base weight in addition to its entropy so
+  // the greedy balances block *counts* as well — otherwise all the
+  // zero-entropy ambient blocks would pile onto whichever worker trails
+  // after the high-entropy phase.
+  const double base =
+      std::max(1e-9, importance.mean_entropy() * 0.5);
+  // ranked() is already descending by entropy: classic LPT greedy.
+  for (BlockId id : importance.ranked()) {
+    u32 lightest = 0;
+    for (u32 w = 1; w < workers; ++w) {
+      if (load[w] < load[lightest]) lightest = w;
+    }
+    owner[id] = lightest;
+    load[lightest] += importance.entropy(id) + base;
+  }
+  return Partition(std::move(owner), workers);
+}
+
+const char* partition_strategy_name(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kRoundRobin: return "round-robin";
+    case PartitionStrategy::kSpatialSlabs: return "spatial-slabs";
+    case PartitionStrategy::kImportance: return "importance-balanced";
+  }
+  throw InvalidArgument("unknown partition strategy");
+}
+
+Partition make_partition(PartitionStrategy s, const BlockGrid& grid,
+                         const ImportanceTable& importance, usize workers) {
+  switch (s) {
+    case PartitionStrategy::kRoundRobin:
+      return partition_round_robin(grid, workers);
+    case PartitionStrategy::kSpatialSlabs:
+      return partition_spatial_slabs(grid, workers);
+    case PartitionStrategy::kImportance:
+      return partition_importance_balanced(grid, importance, workers);
+  }
+  throw InvalidArgument("unknown partition strategy");
+}
+
+}  // namespace vizcache

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/importance.hpp"
+#include "volume/block_grid.hpp"
+
+namespace vizcache {
+
+/// Assignment of every block to one of `worker_count` parallel workers
+/// (render/fetch nodes). This implements the paper's future-work direction:
+/// "study data partitioning and distribution schemes by leveraging data
+/// importance information" for parallel data fetching and rendering.
+class Partition {
+ public:
+  Partition() = default;
+  /// `owner[id]` is the worker of block id; values must be < worker_count.
+  Partition(std::vector<u32> owner, usize worker_count);
+
+  usize worker_count() const { return workers_; }
+  usize block_count() const { return owner_.size(); }
+  u32 owner(BlockId id) const;
+
+  /// Blocks owned by one worker, ascending.
+  std::vector<BlockId> blocks_of(u32 worker) const;
+
+  /// Per-worker total of a per-block weight (e.g. entropy); used to score
+  /// balance.
+  std::vector<double> worker_loads(const std::vector<double>& weight) const;
+
+  /// max(load) / mean(load); 1.0 is perfect balance. Zero-mean loads give 1.
+  static double imbalance(const std::vector<double>& loads);
+
+ private:
+  std::vector<u32> owner_;
+  usize workers_ = 0;
+};
+
+/// Blocks dealt to workers in id order — ignores both space and importance.
+Partition partition_round_robin(const BlockGrid& grid, usize workers);
+
+/// Contiguous slabs along the volume's longest axis — the classic spatial
+/// decomposition for parallel rendering (good locality, importance-blind).
+Partition partition_spatial_slabs(const BlockGrid& grid, usize workers);
+
+/// Greedy longest-processing-time balance over per-block entropy: blocks in
+/// descending importance order each go to the currently lightest worker —
+/// every worker receives an equal share of the *interesting* data, so
+/// parallel fetch/render load stays balanced even when a view concentrates
+/// on the high-entropy region.
+Partition partition_importance_balanced(const BlockGrid& grid,
+                                        const ImportanceTable& importance,
+                                        usize workers);
+
+/// Names for reporting.
+enum class PartitionStrategy { kRoundRobin, kSpatialSlabs, kImportance };
+const char* partition_strategy_name(PartitionStrategy s);
+Partition make_partition(PartitionStrategy s, const BlockGrid& grid,
+                         const ImportanceTable& importance, usize workers);
+
+}  // namespace vizcache

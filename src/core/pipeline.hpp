@@ -1,0 +1,108 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/importance.hpp"
+#include "core/query.hpp"
+#include "core/visibility.hpp"
+#include "core/visibility_table.hpp"
+#include "geom/path.hpp"
+#include "render/render_model.hpp"
+#include "storage/hierarchy.hpp"
+#include "storage/trace.hpp"
+
+namespace vizcache {
+
+/// Per-step timing/counters of a pipeline run.
+struct StepResult {
+  u64 step = 0;
+  usize visible_blocks = 0;
+  usize fast_misses = 0;        ///< visible blocks not already in fast memory
+  usize prefetched = 0;         ///< blocks moved by this step's prefetch pass
+  SimSeconds io_time = 0.0;     ///< demand fetch time
+  SimSeconds lookup_time = 0.0; ///< T_visible nearest-sample query time
+  SimSeconds prefetch_time = 0.0;
+  SimSeconds render_time = 0.0;
+  /// Step wall time. Baselines: io + render. App-aware: io + max(render,
+  /// lookup + prefetch) — prefetching overlaps rendering (paper Section V-D).
+  SimSeconds total_time = 0.0;
+};
+
+/// Whole-run aggregate.
+struct RunResult {
+  std::vector<StepResult> steps;
+  HierarchyStats hierarchy;
+  TraceRecorder trace;          ///< demand accesses, for Belady replays
+
+  double fast_miss_rate = 0.0;  ///< DRAM-level miss fraction
+  double total_miss_rate = 0.0; ///< paper's multi-level miss rate
+  SimSeconds io_time = 0.0;
+  SimSeconds lookup_time = 0.0;
+  SimSeconds prefetch_time = 0.0;
+  SimSeconds render_time = 0.0;
+  SimSeconds total_time = 0.0;
+
+  /// The paper's Fig. 7b metric: demand I/O plus table-lookup overhead.
+  SimSeconds io_plus_lookup() const { return io_time + lookup_time; }
+};
+
+/// Configuration of one visualization run over a camera path.
+struct PipelineConfig {
+  /// When set, runs the application-aware pipeline (paper Algorithm 1):
+  /// preload by importance, demand-fetch with protected LRU, prefetch the
+  /// predicted next-view blocks (entropy > sigma) overlapped with rendering.
+  bool app_aware = false;
+
+  /// Replacement policy of every hierarchy level. Baselines: kFifo / kLru /
+  /// any zoo member. The app-aware mode uses kLru (Algorithm 1's
+  /// lowest-time-value replacement is exactly LRU + per-step protection).
+  PolicyKind policy = PolicyKind::kLru;
+
+  /// Entropy threshold sigma (bits). Blocks must exceed it to be preloaded
+  /// (line 7) or prefetched (line 22). Ignored for baselines.
+  double sigma_bits = 0.0;
+
+  /// Preload important blocks before the walk (line 7). App-aware only.
+  bool preload_important = true;
+
+  RenderTimeModel render_model = gpu_render_model();
+  LookupCostModel lookup_cost;
+};
+
+/// Executes camera-path runs against a block grid and a memory hierarchy.
+/// The pipeline is purely simulation-driven (it never touches payload
+/// bytes), which keeps the full Fig. 7/9/11/12/13 sweeps fast and exactly
+/// deterministic; the example apps exercise the same logic against real
+/// file I/O and the real ray-caster.
+class VizPipeline {
+ public:
+  /// `table`/`importance` may be null for baseline runs. `metadata` enables
+  /// query-driven runs (data-dependent operations).
+  VizPipeline(const BlockGrid& grid, MemoryHierarchy hierarchy,
+              PipelineConfig config, const VisibilityTable* table = nullptr,
+              const ImportanceTable* importance = nullptr,
+              const BlockMetadataTable* metadata = nullptr);
+
+  /// Run a full camera path from a cold (or preloaded) hierarchy. With a
+  /// query `schedule` (requires metadata), each step's working set is the
+  /// view-visible blocks that also pass the step's active query — the
+  /// paper's dynamically-changed transfer function / query workload.
+  RunResult run(const CameraPath& path, const QuerySchedule* schedule = nullptr);
+
+  MemoryHierarchy& hierarchy() { return hierarchy_; }
+
+ private:
+  StepResult run_step(const Camera& camera, u64 step, const RegionQuery* query,
+                      TraceRecorder& trace);
+
+  const BlockGrid& grid_;
+  MemoryHierarchy hierarchy_;
+  PipelineConfig config_;
+  const VisibilityTable* table_;
+  const ImportanceTable* importance_;
+  const BlockMetadataTable* metadata_;
+  BlockBoundsIndex bounds_;
+};
+
+}  // namespace vizcache

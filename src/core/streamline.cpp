@@ -1,0 +1,100 @@
+#include "core/streamline.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+
+bool inside_volume(const Vec3& p) {
+  return p.x >= -1.0 && p.x <= 1.0 && p.y >= -1.0 && p.y <= 1.0 &&
+         p.z >= -1.0 && p.z <= 1.0;
+}
+
+}  // namespace
+
+Streamline trace_streamline(const Vec3& seed, const VectorSampler& velocity,
+                            const StreamlineSpec& spec) {
+  VIZ_REQUIRE(spec.step > 0.0, "integration step must be positive");
+  VIZ_REQUIRE(spec.max_steps >= 1, "need at least one step");
+
+  Streamline line;
+  line.points.push_back(seed);
+  if (!inside_volume(seed)) {
+    line.left_volume = true;
+    return line;
+  }
+
+  Vec3 p = seed;
+  for (usize i = 0; i < spec.max_steps; ++i) {
+    auto sample = [&](const Vec3& q) -> std::optional<Vec3> {
+      if (!inside_volume(q)) return std::nullopt;
+      return velocity(q);
+    };
+    auto k1 = sample(p);
+    if (!k1) {
+      line.left_volume = true;
+      break;
+    }
+    if (k1->norm() < spec.min_speed) {
+      line.stagnated = true;
+      break;
+    }
+    const double h = spec.step;
+    auto k2 = sample(p + *k1 * (h / 2.0));
+    auto k3 = k2 ? sample(p + *k2 * (h / 2.0)) : std::nullopt;
+    auto k4 = k3 ? sample(p + *k3 * h) : std::nullopt;
+    if (!k2 || !k3 || !k4) {
+      // A midpoint left the volume: advance with what we have and stop.
+      p += *k1 * h;
+      line.points.push_back(p);
+      line.left_volume = true;
+      break;
+    }
+    p += (*k1 + *k2 * 2.0 + *k3 * 2.0 + *k4) * (h / 6.0);
+    line.points.push_back(p);
+    if (!inside_volume(p)) {
+      line.left_volume = true;
+      break;
+    }
+  }
+  return line;
+}
+
+std::vector<BlockId> streamline_block_accesses(const Streamline& line,
+                                               const BlockGrid& grid) {
+  std::vector<BlockId> out;
+  for (const Vec3& p : line.points) {
+    BlockId id = grid.block_at_normalized(p);
+    if (id == kInvalidBlock) continue;
+    if (out.empty() || out.back() != id) out.push_back(id);
+  }
+  return out;
+}
+
+StreamlineWorkloadResult run_streamline_workload(
+    const BlockGrid& grid, MemoryHierarchy& hierarchy,
+    const std::vector<Vec3>& seeds, const VectorSampler& velocity,
+    const StreamlineSpec& spec) {
+  StreamlineWorkloadResult result;
+  std::unordered_set<BlockId> unique;
+  u64 step = 0;
+  for (const Vec3& seed : seeds) {
+    ++step;  // each streamline is one interaction step (its blocks protect
+             // each other like a visible set)
+    Streamline line = trace_streamline(seed, velocity, spec);
+    for (BlockId id : streamline_block_accesses(line, grid)) {
+      result.io_time += hierarchy.fetch(id, step);
+      ++result.total_accesses;
+      unique.insert(id);
+    }
+    ++result.lines;
+  }
+  result.unique_blocks = unique.size();
+  result.fast_miss_rate = hierarchy.stats().fast_miss_rate();
+  return result;
+}
+
+}  // namespace vizcache

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "storage/hierarchy.hpp"
+#include "volume/block_grid.hpp"
+
+namespace vizcache {
+
+/// Velocity sampler in the normalized [-1,1]^3 frame; nullopt outside the
+/// data (tracing stops there).
+using VectorSampler = std::function<std::optional<Vec3>(const Vec3&)>;
+
+/// RK4 streamline integration parameters.
+struct StreamlineSpec {
+  double step = 0.01;        ///< integration step h
+  usize max_steps = 2000;    ///< hard cap per line
+  double min_speed = 1e-4;   ///< stop in stagnant flow
+};
+
+/// One traced streamline.
+struct Streamline {
+  std::vector<Vec3> points;     ///< includes the seed
+  bool left_volume = false;     ///< terminated by exiting [-1,1]^3
+  bool stagnated = false;       ///< terminated by |v| < min_speed
+};
+
+/// Classic fourth-order Runge-Kutta advection from `seed`.
+Streamline trace_streamline(const Vec3& seed, const VectorSampler& velocity,
+                            const StreamlineSpec& spec);
+
+/// The out-of-core access pattern of a streamline: the sequence of blocks
+/// the trajectory passes through, consecutive duplicates collapsed (paper
+/// Section II: Ueng et al. load octree cells on demand along the line).
+std::vector<BlockId> streamline_block_accesses(const Streamline& line,
+                                               const BlockGrid& grid);
+
+/// Statistics of replaying a batch of streamlines through a hierarchy:
+/// every line is one "interaction step" (its blocks are protected together,
+/// like a visible set).
+struct StreamlineWorkloadResult {
+  usize lines = 0;
+  usize total_accesses = 0;       ///< block touches across all lines
+  usize unique_blocks = 0;
+  double fast_miss_rate = 0.0;
+  SimSeconds io_time = 0.0;
+};
+
+StreamlineWorkloadResult run_streamline_workload(
+    const BlockGrid& grid, MemoryHierarchy& hierarchy,
+    const std::vector<Vec3>& seeds, const VectorSampler& velocity,
+    const StreamlineSpec& spec);
+
+}  // namespace vizcache

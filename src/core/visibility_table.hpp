@@ -1,0 +1,91 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/importance.hpp"
+#include "core/visibility.hpp"
+#include "geom/radius_model.hpp"
+#include "geom/sampling.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vizcache {
+
+/// Parameters of T_visible construction (paper Step 1, Section IV-B).
+struct VisibilityTableSpec {
+  OmegaSamplingSpec omega;         ///< camera-position sampling lattice
+  usize vicinal_samples = 12;      ///< points v' per vicinal ball phi
+  double view_angle_deg = 30.0;    ///< frustum apex angle theta
+  RadiusModel radius_model;        ///< per-distance optimal radius (Eq. 6)
+  std::optional<double> fixed_radius;  ///< override r (Fig. 11 comparisons)
+  /// Expected view-direction change per path step, degrees. The vicinal
+  /// radius is floored by the resulting chord length so phi(v, r) contains
+  /// the *next* camera position (Section IV-B requirement). 0 disables.
+  double path_step_deg = 0.0;
+  u64 seed = 99;                   ///< vicinal point sampling seed
+  /// When set (with an importance table), each entry keeps only its
+  /// `max_blocks_per_entry` highest-entropy blocks — the paper's remedy for
+  /// over-prediction with large vicinal radii (Section IV-C).
+  std::optional<usize> max_blocks_per_entry;
+};
+
+/// Cost model of one runtime table lookup. The paper's Fig. 7b shows I/O
+/// time rising again for very large tables because the nearest-sample query
+/// scans more entries; we model the scan linearly.
+struct LookupCostModel {
+  SimSeconds base_s = 2e-6;
+  SimSeconds per_entry_s = 40e-9;
+
+  SimSeconds query_time(usize entries) const {
+    return base_s + per_entry_s * static_cast<double>(entries);
+  }
+};
+
+/// T_visible: for every sampled camera position v in Omega, the union of
+/// visible-block sets over the vicinal ball phi(v, r) (key <l, d>, value
+/// S_v). Dataset-independent — depends only on the block grid geometry and
+/// view parameters — unless entries are importance-trimmed.
+class VisibilityTable {
+ public:
+  /// Build by exhaustive cone-testing. `importance` is only required when
+  /// spec.max_blocks_per_entry is set. Pass a ThreadPool to parallelize
+  /// across sampling positions.
+  static VisibilityTable build(const BlockGrid& grid,
+                               const VisibilityTableSpec& spec,
+                               const ImportanceTable* importance = nullptr,
+                               ThreadPool* pool = nullptr);
+
+  /// Predicted visible set for an arbitrary camera position: the entry of
+  /// the nearest sampled position (O(1) lattice lookup).
+  const std::vector<BlockId>& query(const Vec3& camera_position) const;
+
+  /// Index of the nearest sample (exposed for tests / diagnostics).
+  usize nearest_index(const Vec3& camera_position) const;
+
+  usize entry_count() const { return entries_.size(); }
+  const std::vector<BlockId>& entry(usize index) const;
+  const Vec3& sample_position(usize index) const;
+
+  /// Mean / max blocks per entry (prediction size diagnostics).
+  double mean_entry_size() const;
+  usize max_entry_size() const;
+
+  const VisibilityTableSpec& spec() const { return spec_; }
+
+  /// Simulated cost of one runtime lookup under `model`.
+  SimSeconds lookup_time(const LookupCostModel& model) const {
+    return model.query_time(entries_.size());
+  }
+
+  /// Binary serialization (the table is one-time pre-processing).
+  void save(const std::string& path) const;
+  static VisibilityTable load(const std::string& path);
+
+ private:
+  VisibilityTableSpec spec_;
+  std::vector<Vec3> positions_;              ///< sampled camera positions
+  std::vector<std::vector<BlockId>> entries_;  ///< S_v per sample
+};
+
+}  // namespace vizcache

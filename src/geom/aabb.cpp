@@ -1,0 +1,40 @@
+#include "geom/aabb.hpp"
+
+#include <algorithm>
+
+namespace vizcache {
+
+double AABB::volume() const {
+  Vec3 e = extent();
+  if (e.x < 0.0 || e.y < 0.0 || e.z < 0.0) return 0.0;
+  return e.x * e.y * e.z;
+}
+
+bool AABB::contains(const Vec3& p) const {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+         p.z >= lo.z && p.z <= hi.z;
+}
+
+bool AABB::intersects(const AABB& o) const {
+  return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y && hi.y >= o.lo.y &&
+         lo.z <= o.hi.z && hi.z >= o.lo.z;
+}
+
+std::array<Vec3, 8> AABB::corners() const {
+  return {Vec3{lo.x, lo.y, lo.z}, Vec3{hi.x, lo.y, lo.z},
+          Vec3{lo.x, hi.y, lo.z}, Vec3{hi.x, hi.y, lo.z},
+          Vec3{lo.x, lo.y, hi.z}, Vec3{hi.x, lo.y, hi.z},
+          Vec3{lo.x, hi.y, hi.z}, Vec3{hi.x, hi.y, hi.z}};
+}
+
+AABB AABB::united(const AABB& o) const {
+  return {{std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y), std::min(lo.z, o.lo.z)},
+          {std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y), std::max(hi.z, o.hi.z)}};
+}
+
+Vec3 AABB::clamp_point(const Vec3& p) const {
+  return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y),
+          std::clamp(p.z, lo.z, hi.z)};
+}
+
+}  // namespace vizcache

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+
+#include "geom/vec3.hpp"
+
+namespace vizcache {
+
+/// Axis-aligned box. Data blocks are AABBs in the normalized [-1,1]^3 frame.
+struct AABB {
+  Vec3 lo;
+  Vec3 hi;
+
+  AABB() = default;
+  AABB(const Vec3& lo_, const Vec3& hi_) : lo(lo_), hi(hi_) {}
+
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  Vec3 extent() const { return hi - lo; }
+  double volume() const;
+  double diagonal() const { return (hi - lo).norm(); }
+
+  bool contains(const Vec3& p) const;
+  bool intersects(const AABB& o) const;
+
+  /// The eight corner points b_i, i in [0, 7] (paper Eq. 1 iterates these).
+  std::array<Vec3, 8> corners() const;
+
+  /// Smallest box covering both.
+  AABB united(const AABB& o) const;
+
+  /// Closest point inside the box to p (p itself if contained).
+  Vec3 clamp_point(const Vec3& p) const;
+};
+
+}  // namespace vizcache

@@ -1,0 +1,21 @@
+#include "geom/camera.hpp"
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+Camera::Camera(const Vec3& position, double view_angle_deg)
+    : position_(position), view_angle_deg_(view_angle_deg) {
+  VIZ_REQUIRE(view_angle_deg > 0.0 && view_angle_deg < 180.0,
+              "view angle must be in (0, 180) degrees");
+}
+
+Camera Camera::from_spherical(const Spherical& s, double view_angle_deg) {
+  return Camera(spherical_to_cartesian(s), view_angle_deg);
+}
+
+Vec3 Camera::view_direction() const {
+  return (-position_).normalized();
+}
+
+}  // namespace vizcache

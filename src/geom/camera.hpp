@@ -1,0 +1,40 @@
+#pragma once
+
+#include "geom/spherical.hpp"
+#include "geom/vec3.hpp"
+
+namespace vizcache {
+
+/// A camera exploring the spherical domain Omega around the volume. Per the
+/// paper, the camera always looks at the volume center o (the origin), so a
+/// position fully determines view direction l = normalize(o - position) and
+/// view distance d = ||position||. The frustum is modeled as a cone with full
+/// apex angle `view_angle_deg` (theta in the paper).
+class Camera {
+ public:
+  Camera() = default;
+  Camera(const Vec3& position, double view_angle_deg);
+
+  /// Construct from spherical coordinates of the position.
+  static Camera from_spherical(const Spherical& s, double view_angle_deg);
+
+  const Vec3& position() const { return position_; }
+
+  /// Unit view direction l = (o - position) / ||o - position||.
+  Vec3 view_direction() const;
+
+  /// Distance d to the volume center.
+  double view_distance() const { return position_.norm(); }
+
+  /// Full apex angle theta of the view cone, degrees / radians.
+  double view_angle_deg() const { return view_angle_deg_; }
+  double view_angle_rad() const { return deg_to_rad(view_angle_deg_); }
+
+  Spherical spherical() const { return cartesian_to_spherical(position_); }
+
+ private:
+  Vec3 position_{0.0, 0.0, 3.0};
+  double view_angle_deg_ = 30.0;
+};
+
+}  // namespace vizcache

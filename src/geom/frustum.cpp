@@ -1,0 +1,57 @@
+#include "geom/frustum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vizcache {
+
+ConeFrustum::ConeFrustum(const Camera& camera)
+    : apex_(camera.position()),
+      axis_(camera.view_direction()),
+      half_angle_(camera.view_angle_rad() * 0.5),
+      cos_half_angle_(std::cos(half_angle_)) {}
+
+bool ConeFrustum::contains_point(const Vec3& p) const {
+  Vec3 to_p = p - apex_;
+  double n = to_p.norm();
+  if (n == 0.0) return true;  // the apex itself
+  return to_p.dot(axis_) >= cos_half_angle_ * n;
+}
+
+bool ConeFrustum::may_intersect_sphere(const Vec3& center,
+                                       double radius) const {
+  Vec3 to_c = center - apex_;
+  double dist = to_c.norm();
+  if (dist <= radius) return true;  // the apex is inside the sphere
+  // The smallest possible angle between the axis and any point of the
+  // sphere is angle(axis, center) - asin(radius / dist); if even that
+  // exceeds the half-angle the sphere cannot touch the cone.
+  double center_angle = angle_between(axis_, to_c);
+  double angular_radius = std::asin(std::min(1.0, radius / dist));
+  return center_angle - angular_radius <= half_angle_;
+}
+
+bool ConeFrustum::intersects_block(const AABB& block) const {
+  // Camera inside the block: everything around the apex is "visible".
+  if (block.contains(apex_)) return true;
+
+  // Eq. 1: any of the eight corners within the view cone.
+  for (const Vec3& c : block.corners()) {
+    if (contains_point(c)) return true;
+  }
+
+  // Robustness: the cone axis may pierce a face without any corner being
+  // inside the cone (blocks wider than the local cone cross-section). Test
+  // the point of the block closest to the axis ray.
+  Vec3 closest = block.clamp_point(apex_);
+  if (contains_point(closest)) return true;
+  // March a few points along the axis and test their block-clamped images.
+  double reach = (block.center() - apex_).norm() + block.diagonal();
+  for (int i = 1; i <= 4; ++i) {
+    Vec3 p = apex_ + axis_ * (reach * static_cast<double>(i) / 4.0);
+    if (contains_point(block.clamp_point(p))) return true;
+  }
+  return false;
+}
+
+}  // namespace vizcache

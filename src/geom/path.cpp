@@ -1,0 +1,64 @@
+#include "geom/path.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+CameraPath make_spherical_path(const SphericalPathSpec& spec) {
+  VIZ_REQUIRE(spec.positions >= 1, "path needs at least one position");
+  VIZ_REQUIRE(spec.step_deg > 0.0, "step must be positive");
+  VIZ_REQUIRE(spec.distance > 0.0, "distance must be positive");
+
+  CameraPath path;
+  path.reserve(spec.positions);
+  // Start at the equator; walk the great circle, tilting the travel tangent
+  // slightly each step so the orbit precesses over the sphere.
+  Vec3 dir{1.0, 0.0, 0.0};
+  double tangent_angle = 0.0;
+  const double step_rad = deg_to_rad(spec.step_deg);
+  const double precession_rad = deg_to_rad(spec.precession_deg);
+  for (usize i = 0; i < spec.positions; ++i) {
+    path.emplace_back(dir * spec.distance, spec.view_angle_deg);
+    dir = perturb_direction(dir, step_rad, tangent_angle);
+    tangent_angle += precession_rad;
+  }
+  return path;
+}
+
+CameraPath make_random_path(const RandomPathSpec& spec) {
+  VIZ_REQUIRE(spec.positions >= 1, "path needs at least one position");
+  VIZ_REQUIRE(spec.step_min_deg >= 0.0 && spec.step_max_deg >= spec.step_min_deg,
+              "invalid step range");
+  VIZ_REQUIRE(spec.distance_min > 0.0 && spec.distance_max >= spec.distance_min,
+              "invalid distance range");
+
+  Rng rng(spec.seed);
+  CameraPath path;
+  path.reserve(spec.positions);
+  Vec3 dir{1.0, 0.0, 0.0};
+  double d = 0.5 * (spec.distance_min + spec.distance_max);
+  for (usize i = 0; i < spec.positions; ++i) {
+    path.emplace_back(dir * d, spec.view_angle_deg);
+    double step_rad = deg_to_rad(rng.uniform(spec.step_min_deg, spec.step_max_deg));
+    double tangent = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    dir = perturb_direction(dir, step_rad, tangent);
+    if (spec.distance_max > spec.distance_min) {
+      d = rng.uniform(spec.distance_min, spec.distance_max);
+    }
+  }
+  return path;
+}
+
+double mean_step_degrees(const CameraPath& path) {
+  if (path.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (usize i = 1; i < path.size(); ++i) {
+    sum += rad_to_deg(angular_distance(path[i - 1].view_direction(),
+                                       path[i].view_direction()));
+  }
+  return sum / static_cast<double>(path.size() - 1);
+}
+
+}  // namespace vizcache

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/camera.hpp"
+#include "util/rng.hpp"
+
+namespace vizcache {
+
+/// An ordered sequence of camera positions a user traverses (paper: 400
+/// positions per path in every experiment).
+using CameraPath = std::vector<Camera>;
+
+/// Spherical sweep path: the camera orbits the volume at fixed distance,
+/// advancing a fixed number of degrees per position along a great circle
+/// whose axis slowly precesses so the path covers the sphere rather than a
+/// single ring. Matches the paper's "spherical path with different degree
+/// intervals" (Fig. 9a-g, Fig. 12a).
+struct SphericalPathSpec {
+  double step_deg = 5.0;        ///< view-direction change per position
+  double distance = 3.0;        ///< camera distance d from the center
+  double view_angle_deg = 10.0; ///< cone apex angle theta
+  usize positions = 400;
+  double precession_deg = 0.37; ///< per-step tilt of the orbit plane
+};
+
+CameraPath make_spherical_path(const SphericalPathSpec& spec);
+
+/// Random walk path: each step perturbs the view direction by a random angle
+/// drawn uniformly from [step_min_deg, step_max_deg] in a random tangent
+/// direction; the distance optionally jitters in [distance_min, distance_max].
+/// Matches the paper's "random path with different degree changes"
+/// (Fig. 9h-n, Fig. 12b, Fig. 13).
+struct RandomPathSpec {
+  double step_min_deg = 10.0;
+  double step_max_deg = 15.0;
+  double distance_min = 3.0;
+  double distance_max = 3.0;
+  double view_angle_deg = 10.0;
+  usize positions = 400;
+  u64 seed = 42;
+};
+
+CameraPath make_random_path(const RandomPathSpec& spec);
+
+/// Mean view-direction change between consecutive positions, in degrees.
+/// Used by tests to validate generators against their specs.
+double mean_step_degrees(const CameraPath& path);
+
+}  // namespace vizcache

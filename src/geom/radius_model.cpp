@@ -1,0 +1,54 @@
+#include "geom/radius_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/vec3.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double RadiusModel::optimal_radius(double view_distance) const {
+  VIZ_REQUIRE(view_distance > 0.0, "view distance must be positive");
+  VIZ_REQUIRE(cache_ratio > 0.0 && cache_ratio <= 1.0,
+              "cache ratio must be in (0, 1]");
+  const double t = std::tan(deg_to_rad(view_angle_deg) * 0.5);
+  const double inner = 4.0 * cache_ratio / kPi - t * t / 3.0;
+  if (inner <= 0.0) return min_radius;  // cache too small for any aggregation
+  double r = std::sqrt(inner) - view_distance * t;
+  return std::max(r, min_radius);
+}
+
+double RadiusModel::frustum_fraction(double r, double view_distance) const {
+  VIZ_REQUIRE(r >= 0.0, "negative radius");
+  const double t = std::tan(deg_to_rad(view_angle_deg) * 0.5);
+  // Apex of the aggregated cone sits r/t behind the sampling position; the
+  // frustum zeta spans the volume's near plane (d - 1) to far plane (d + 1).
+  const double h = view_distance + 1.0 + r / t;
+  const double hp = view_distance - 1.0 + r / t;
+  const double vol = kPi * t * t * (h * h * h - hp * hp * hp) / 3.0;
+  return vol / 8.0;  // normalized volume size is 2^3 = 8
+}
+
+double RadiusModel::radius_for_fraction(double view_distance,
+                                        double fraction) const {
+  VIZ_REQUIRE(view_distance > 0.0, "view distance must be positive");
+  VIZ_REQUIRE(fraction > 0.0, "fraction must be positive");
+  const double t = std::tan(deg_to_rad(view_angle_deg) * 0.5);
+  const double inner = 4.0 * fraction / kPi - t * t / 3.0;
+  if (inner <= 0.0) return min_radius;
+  return std::max(min_radius, std::sqrt(inner) - view_distance * t);
+}
+
+double RadiusModel::radius_with_step_floor(double view_distance,
+                                           double path_step_length) const {
+  const double cap = radius_for_fraction(view_distance, 0.5);
+  return std::max({optimal_radius(view_distance),
+                   std::min(path_step_length, cap), min_radius});
+}
+
+}  // namespace vizcache

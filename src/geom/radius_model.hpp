@@ -1,0 +1,47 @@
+#pragma once
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Analytic model for the vicinal-sphere radius r (paper Section V-B2,
+/// Eq. 3-6). The volume edge is normalized to 2 (coordinates in [-1, 1]);
+/// aggregating the frustums of all points in the vicinal ball phi around a
+/// sampling position at distance d yields a cone-frustum zeta between the
+/// volume's near and far planes. Choosing r so that vol(zeta) / 8 equals the
+/// fast:slow cache-size ratio fills fast memory exactly:
+///
+///   r(theta, d, ratio) = sqrt(4*ratio/pi - tan^2(theta/2)/3) - d*tan(theta/2)
+///
+/// with theta the full view-cone angle. The derivation uses
+/// h = d + 1 + r/tan(theta/2), h' = d - 1 + r/tan(theta/2) and
+/// vol(zeta) = pi tan^2(theta/2) (h^3 - h'^3) / 3.
+struct RadiusModel {
+  double view_angle_deg = 30.0;  ///< theta
+  double cache_ratio = 0.5;      ///< fast cache size / slow cache size
+  double min_radius = 1e-3;      ///< floor: never collapse to a point
+
+  /// Optimal r for a camera at distance d (Eq. 6), clamped to min_radius.
+  double optimal_radius(double view_distance) const;
+
+  /// The aggregated-frustum volume fraction (vol(zeta)/8) that a given r
+  /// produces at distance d — the left side of Eq. 3. Tests verify
+  /// frustum_fraction(optimal_radius(d), d) == cache_ratio.
+  double frustum_fraction(double r, double view_distance) const;
+
+  /// The radius whose aggregated frustum covers `fraction` of the volume at
+  /// distance d (Eq. 6 with an arbitrary right-hand side).
+  double radius_for_fraction(double view_distance, double fraction) const;
+
+  /// r must also be at least the camera-path step length so the vicinal ball
+  /// of the nearest sample contains the *next* path position (Section IV-B).
+  /// The floor is capped at radius_for_fraction(d, 0.5): past the point
+  /// where the aggregated frustum covers half the volume, the entry
+  /// degenerates into a global importance ranking and a larger radius only
+  /// dilutes the prediction (over-prediction, Section IV-B).
+  /// Returns max(optimal, min(path_step_length, cap), min_radius).
+  double radius_with_step_floor(double view_distance,
+                                double path_step_length) const;
+};
+
+}  // namespace vizcache

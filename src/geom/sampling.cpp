@@ -1,0 +1,116 @@
+#include "geom/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::vector<Vec3> sample_omega_positions(const OmegaSamplingSpec& spec) {
+  VIZ_REQUIRE(spec.theta_steps >= 1 && spec.phi_steps >= 1 &&
+                  spec.distance_steps >= 1,
+              "empty omega sampling spec");
+  VIZ_REQUIRE(spec.distance_min > 0.0 && spec.distance_max >= spec.distance_min,
+              "invalid omega distance range");
+
+  std::vector<Vec3> out;
+  out.reserve(spec.total_positions());
+  for (usize t = 0; t < spec.theta_steps; ++t) {
+    // Cell-centered to avoid degenerate poles.
+    double theta = kPi * (static_cast<double>(t) + 0.5) /
+                   static_cast<double>(spec.theta_steps);
+    for (usize p = 0; p < spec.phi_steps; ++p) {
+      double phi = 2.0 * kPi * static_cast<double>(p) /
+                   static_cast<double>(spec.phi_steps);
+      for (usize di = 0; di < spec.distance_steps; ++di) {
+        double frac = spec.distance_steps == 1
+                          ? 0.5
+                          : static_cast<double>(di) /
+                                static_cast<double>(spec.distance_steps - 1);
+        double d = spec.distance_min + frac * (spec.distance_max - spec.distance_min);
+        out.push_back(spherical_to_cartesian({theta, phi, d}));
+      }
+    }
+  }
+  return out;
+}
+
+usize nearest_omega_index(const OmegaSamplingSpec& spec, const Vec3& position) {
+  Spherical s = cartesian_to_spherical(position);
+
+  double t_real = s.theta / kPi * static_cast<double>(spec.theta_steps) - 0.5;
+  i64 t = static_cast<i64>(std::llround(t_real));
+  t = std::clamp<i64>(t, 0, static_cast<i64>(spec.theta_steps) - 1);
+
+  double p_real = s.phi / (2.0 * kPi) * static_cast<double>(spec.phi_steps);
+  i64 p = static_cast<i64>(std::llround(p_real)) %
+          static_cast<i64>(spec.phi_steps);
+  if (p < 0) p += static_cast<i64>(spec.phi_steps);
+
+  i64 d;
+  if (spec.distance_steps == 1 || spec.distance_max == spec.distance_min) {
+    d = 0;
+  } else {
+    double frac = (s.r - spec.distance_min) / (spec.distance_max - spec.distance_min);
+    d = static_cast<i64>(std::llround(frac * static_cast<double>(spec.distance_steps - 1)));
+    d = std::clamp<i64>(d, 0, static_cast<i64>(spec.distance_steps) - 1);
+  }
+
+  return (static_cast<usize>(t) * spec.phi_steps + static_cast<usize>(p)) *
+             spec.distance_steps +
+         static_cast<usize>(d);
+}
+
+usize nearest_position_linear(const std::vector<Vec3>& positions,
+                              const Vec3& query) {
+  VIZ_REQUIRE(!positions.empty(), "nearest over empty position set");
+  usize best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (usize i = 0; i < positions.size(); ++i) {
+    double d2 = (positions[i] - query).norm2();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<Vec3> sample_vicinal_ball(const Vec3& center, double radius,
+                                      usize count, Rng& rng) {
+  VIZ_REQUIRE(radius >= 0.0, "negative vicinal radius");
+  std::vector<Vec3> out;
+  out.reserve(count + 1);
+  // Always include the center itself so the sample's own frustum is covered.
+  out.push_back(center);
+  while (out.size() < count + 1) {
+    // Rejection sampling in the cube for uniform density in the ball.
+    Vec3 p{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    if (p.norm2() <= 1.0) out.push_back(center + p * radius);
+  }
+  return out;
+}
+
+std::vector<Vec3> fibonacci_sphere(usize count) {
+  VIZ_REQUIRE(count >= 1, "fibonacci sphere needs >=1 point");
+  std::vector<Vec3> out;
+  out.reserve(count);
+  const double golden = kPi * (3.0 - std::sqrt(5.0));
+  for (usize i = 0; i < count; ++i) {
+    double y = count == 1 ? 0.0
+                          : 1.0 - 2.0 * static_cast<double>(i) /
+                                      static_cast<double>(count - 1);
+    double r = std::sqrt(std::max(0.0, 1.0 - y * y));
+    double phi = golden * static_cast<double>(i);
+    out.push_back({std::cos(phi) * r, y, std::sin(phi) * r});
+  }
+  return out;
+}
+
+}  // namespace vizcache

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/spherical.hpp"
+#include "geom/vec3.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Sampling grid over the exploration domain Omega (paper Step 1): camera
+/// positions are placed on a lattice of view directions (theta x phi) crossed
+/// with a set of view distances. 36 x 72 x 10 reproduces the paper's 25,920
+/// sampling positions.
+struct OmegaSamplingSpec {
+  usize theta_steps = 36;   ///< polar divisions over [0, pi]
+  usize phi_steps = 72;     ///< azimuthal divisions over [0, 2pi)
+  usize distance_steps = 10;
+  double distance_min = 2.0;
+  double distance_max = 4.0;
+
+  usize total_positions() const {
+    return theta_steps * phi_steps * distance_steps;
+  }
+};
+
+/// All sampled camera positions for a spec, in deterministic lattice order:
+/// index = (t * phi_steps + p) * distance_steps + d.
+std::vector<Vec3> sample_omega_positions(const OmegaSamplingSpec& spec);
+
+/// Lattice index of the sample nearest to an arbitrary position (O(1) grid
+/// lookup; equivalent result to brute-force nearest-neighbor over the lattice
+/// for interior points).
+usize nearest_omega_index(const OmegaSamplingSpec& spec, const Vec3& position);
+
+/// Brute-force nearest neighbor over an explicit position set (used to model
+/// and validate the table-scan lookup cost the paper observes in Fig. 7b).
+usize nearest_position_linear(const std::vector<Vec3>& positions,
+                              const Vec3& query);
+
+/// Sample `count` points uniformly inside the vicinal ball phi of radius r
+/// centered at `center` (paper Fig. 6: the points v' whose frustums are
+/// aggregated). Deterministic given the rng state.
+std::vector<Vec3> sample_vicinal_ball(const Vec3& center, double radius,
+                                      usize count, Rng& rng);
+
+/// `count` near-uniform unit directions via the Fibonacci sphere lattice.
+std::vector<Vec3> fibonacci_sphere(usize count);
+
+}  // namespace vizcache

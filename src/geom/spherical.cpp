@@ -1,0 +1,43 @@
+#include "geom/spherical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vizcache {
+
+Vec3 spherical_to_cartesian(const Spherical& s) {
+  double st = std::sin(s.theta), ct = std::cos(s.theta);
+  double sp = std::sin(s.phi), cp = std::cos(s.phi);
+  return {s.r * st * cp, s.r * st * sp, s.r * ct};
+}
+
+Spherical cartesian_to_spherical(const Vec3& p) {
+  Spherical s;
+  s.r = p.norm();
+  if (s.r == 0.0) return {0.0, 0.0, 0.0};
+  s.theta = std::acos(std::clamp(p.z / s.r, -1.0, 1.0));
+  s.phi = std::atan2(p.y, p.x);
+  if (s.phi < 0.0) s.phi += 2.0 * 3.14159265358979323846;
+  return s;
+}
+
+Vec3 direction_from_angles(double theta, double phi) {
+  return spherical_to_cartesian({theta, phi, 1.0});
+}
+
+double angular_distance(const Vec3& dir_a, const Vec3& dir_b) {
+  return angle_between(dir_a, dir_b);
+}
+
+Vec3 perturb_direction(const Vec3& dir, double angle_rad, double tangent_angle) {
+  Vec3 d = dir.normalized();
+  // Build an orthonormal tangent basis {t1, t2} at d.
+  Vec3 helper = std::abs(d.z) < 0.9 ? Vec3{0, 0, 1} : Vec3{1, 0, 0};
+  Vec3 t1 = d.cross(helper).normalized();
+  Vec3 t2 = d.cross(t1).normalized();
+  Vec3 tangent = t1 * std::cos(tangent_angle) + t2 * std::sin(tangent_angle);
+  // Walk along the great circle through d in direction `tangent`.
+  return (d * std::cos(angle_rad) + tangent * std::sin(angle_rad)).normalized();
+}
+
+}  // namespace vizcache

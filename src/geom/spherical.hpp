@@ -1,0 +1,34 @@
+#pragma once
+
+#include "geom/vec3.hpp"
+
+namespace vizcache {
+
+/// Spherical coordinates of a camera position relative to the volume center o.
+/// theta = polar angle from +z in [0, pi], phi = azimuth from +x in [0, 2pi),
+/// r = distance from o. The paper keys its visibility table on the tuple
+/// <l, d> where l = direction(v->o) and d = ||v - o||; (theta, phi) encode l.
+struct Spherical {
+  double theta = 0.0;
+  double phi = 0.0;
+  double r = 1.0;
+};
+
+/// Cartesian position from spherical coordinates (origin-centered).
+Vec3 spherical_to_cartesian(const Spherical& s);
+
+/// Spherical coordinates of a cartesian point; r==0 maps to theta=phi=0.
+Spherical cartesian_to_spherical(const Vec3& p);
+
+/// Unit direction for (theta, phi).
+Vec3 direction_from_angles(double theta, double phi);
+
+/// Great-circle (angular) distance in radians between two unit directions.
+double angular_distance(const Vec3& dir_a, const Vec3& dir_b);
+
+/// Rotate `dir` by `angle_rad` toward/around a random tangent, producing a new
+/// unit direction whose angular distance from `dir` is exactly `angle_rad`.
+/// `tangent_angle` in [0, 2pi) selects the tangent-plane direction.
+Vec3 perturb_direction(const Vec3& dir, double angle_rad, double tangent_angle);
+
+}  // namespace vizcache

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cmath>
+
+namespace vizcache {
+
+/// 3D double-precision vector. The whole geometry layer works in the paper's
+/// normalized frame: the volume occupies [-1, 1]^3 (edge size 2) and the
+/// exploration domain Omega is a sphere centered at the origin o.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr bool operator==(const Vec3& o) const = default;
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  /// Unit vector; returns +x axis for the zero vector.
+  Vec3 normalized() const {
+    double n = norm();
+    if (n == 0.0) return {1.0, 0.0, 0.0};
+    return *this / n;
+  }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+/// Angle in radians between two vectors; 0 if either is zero-length.
+inline double angle_between(const Vec3& a, const Vec3& b) {
+  double na = a.norm(), nb = b.norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double c = a.dot(b) / (na * nb);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return std::acos(c);
+}
+
+inline constexpr double deg_to_rad(double deg) {
+  return deg * 3.14159265358979323846 / 180.0;
+}
+inline constexpr double rad_to_deg(double rad) {
+  return rad * 180.0 / 3.14159265358979323846;
+}
+
+}  // namespace vizcache

@@ -1,0 +1,43 @@
+#include "render/analytics.hpp"
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+RegionAnalytics analyze_region(const BlockStore& store,
+                               std::span<const BlockId> blocks,
+                               usize variables, usize timestep,
+                               double value_lo, double value_hi, usize bins,
+                               usize stride) {
+  VIZ_REQUIRE(variables >= 1, "need at least one variable");
+  VIZ_REQUIRE(variables <= store.desc().variables,
+              "more variables requested than the dataset has");
+  VIZ_REQUIRE(stride >= 1, "stride must be >= 1");
+
+  RegionAnalytics out(variables);
+  out.histograms.reserve(variables);
+  for (usize v = 0; v < variables; ++v) {
+    out.histograms.emplace_back(bins, value_lo, value_hi);
+  }
+
+  std::vector<std::vector<float>> payloads(variables);
+  std::vector<double> sample(variables);
+  for (BlockId id : blocks) {
+    for (usize v = 0; v < variables; ++v) {
+      payloads[v] = store.read_block(id, v, timestep);
+    }
+    const usize n = payloads[0].size();
+    for (usize i = 0; i < n; i += stride) {
+      for (usize v = 0; v < variables; ++v) {
+        double val = static_cast<double>(payloads[v][i]);
+        out.histograms[v].add(val);
+        sample[v] = val;
+      }
+      out.correlation.add_sample(std::span<const double>(sample));
+      ++out.voxels_analyzed;
+    }
+  }
+  return out;
+}
+
+}  // namespace vizcache

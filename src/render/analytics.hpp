@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+#include "volume/block_store.hpp"
+
+namespace vizcache {
+
+/// Data-dependent analytics over the currently visible region — the Fig. 3
+/// workload: per-variable value histograms and the cross-variable
+/// correlation matrix, recomputed for the blocks seen from a view. These
+/// operations need the *full-resolution* data of every visible block, which
+/// is precisely why the paper cannot fall back on multi-resolution LOD for
+/// data-dependent operations.
+struct RegionAnalytics {
+  std::vector<Histogram> histograms;    ///< one per analyzed variable
+  CorrelationMatrix correlation;        ///< across analyzed variables
+  u64 voxels_analyzed = 0;
+
+  explicit RegionAnalytics(usize variables)
+      : correlation(variables) {}
+};
+
+/// Compute analytics over `blocks` for the first `variables` variables of
+/// the store at `timestep`. `value_lo/value_hi` bound the histogram range;
+/// `bins` sets histogram resolution. `stride` subsamples voxels (1 = all).
+RegionAnalytics analyze_region(const BlockStore& store,
+                               std::span<const BlockId> blocks,
+                               usize variables, usize timestep = 0,
+                               double value_lo = 0.0, double value_hi = 1.0,
+                               usize bins = 64, usize stride = 1);
+
+}  // namespace vizcache

@@ -1,0 +1,74 @@
+#include "render/compositor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+Image raycast_blocks(const Camera& camera, const BlockGrid& grid,
+                     std::span<const BlockId> blocks,
+                     const VolumeSampler& sampler, const TransferFunction& tf,
+                     const RaycastParams& params, ThreadPool* pool) {
+  // Mask by ownership: outside the listed blocks the worker contributes
+  // nothing (treated like non-resident bricks).
+  std::vector<u8> mine(grid.block_count(), 0);
+  for (BlockId id : blocks) {
+    VIZ_REQUIRE(id < grid.block_count(), "block id out of range");
+    mine[id] = 1;
+  }
+  VolumeSampler masked = [&grid, &mine,
+                          &sampler](const Vec3& p) -> std::optional<float> {
+    BlockId id = grid.block_at_normalized(p);
+    if (id == kInvalidBlock || !mine[id]) return std::nullopt;
+    return sampler(p);
+  };
+  return raycast(camera, masked, tf, params, pool);
+}
+
+double block_set_depth(const Camera& camera, const BlockGrid& grid,
+                       std::span<const BlockId> blocks) {
+  if (blocks.empty()) return std::numeric_limits<double>::infinity();
+  Vec3 centroid{0, 0, 0};
+  for (BlockId id : blocks) {
+    centroid += grid.block_bounds(id).center();
+  }
+  centroid = centroid / static_cast<double>(blocks.size());
+  return (centroid - camera.position()).norm();
+}
+
+Image composite_over(std::vector<PartialRender> partials) {
+  VIZ_REQUIRE(!partials.empty(), "nothing to composite");
+  const usize w = partials.front().image.width();
+  const usize h = partials.front().image.height();
+  for (const PartialRender& p : partials) {
+    VIZ_REQUIRE(p.image.width() == w && p.image.height() == h,
+                "partial image dimensions mismatch");
+  }
+  // Back-to-front: farthest first, nearer layers composited over.
+  std::sort(partials.begin(), partials.end(),
+            [](const PartialRender& a, const PartialRender& b) {
+              return a.depth > b.depth;
+            });
+
+  Image out(w, h);
+  for (const PartialRender& p : partials) {
+    for (usize y = 0; y < h; ++y) {
+      for (usize x = 0; x < w; ++x) {
+        const Rgba& src = p.image.at(x, y);   // nearer layer
+        Rgba& dst = out.at(x, y);             // accumulated farther layers
+        // "src over dst" with premultiplied-style accumulation matching the
+        // raycaster's front-to-back output.
+        float inv = 1.0f - src.a;
+        dst.r = src.r + dst.r * inv;
+        dst.g = src.g + dst.g * inv;
+        dst.b = src.b + dst.b * inv;
+        dst.a = src.a + dst.a * inv;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vizcache

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/camera.hpp"
+#include "render/image.hpp"
+#include "render/raycaster.hpp"
+#include "volume/block_grid.hpp"
+
+namespace vizcache {
+
+/// A partial rendering: one worker's ray-cast of just its own blocks, plus
+/// the depth used for visibility ordering (distance of its block set's
+/// centroid to the camera).
+struct PartialRender {
+  Image image;
+  double depth = 0.0;
+};
+
+/// Render only the listed blocks of a volume: the sampler is masked so rays
+/// accumulate solely inside `blocks`. This is the per-worker render of a
+/// parallel pipeline (each node renders what it owns).
+Image raycast_blocks(const Camera& camera, const BlockGrid& grid,
+                     std::span<const BlockId> blocks,
+                     const VolumeSampler& sampler, const TransferFunction& tf,
+                     const RaycastParams& params, ThreadPool* pool = nullptr);
+
+/// Depth of a block set for compositing order: distance from the camera to
+/// the centroid of the blocks' bounds centers. Empty sets sort last.
+double block_set_depth(const Camera& camera, const BlockGrid& grid,
+                       std::span<const BlockId> blocks);
+
+/// Back-to-front "over" composite of partial renders (sorted internally by
+/// descending depth). All images must share dimensions. This is the
+/// standard sort-last compositing step of parallel volume rendering — the
+/// "parallel ... rendering" extension the paper names as future work.
+///
+/// Exactness caveat (inherent to sort-last with convex-ish regions): the
+/// result equals the monolithic single-pass raycast when the partition
+/// regions are depth-separable along the view ray (e.g. slab partitions
+/// viewed down the slab axis); interleaved partitions composite
+/// approximately, as in real sort-last renderers.
+Image composite_over(std::vector<PartialRender> partials);
+
+}  // namespace vizcache

@@ -1,0 +1,48 @@
+#include "render/image.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+Image::Image(usize width, usize height, Rgba fill)
+    : width_(width), height_(height) {
+  VIZ_REQUIRE(width > 0 && height > 0, "empty image");
+  pixels_.assign(width * height, fill);
+}
+
+double Image::coverage() const {
+  usize hit = 0;
+  for (const Rgba& p : pixels_) {
+    if (p.a > 0.0f) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(pixels_.size());
+}
+
+double Image::mean_luminance() const {
+  double sum = 0.0;
+  for (const Rgba& p : pixels_) {
+    sum += 0.2126 * static_cast<double>(p.r) + 0.7152 * static_cast<double>(p.g) +
+           0.0722 * static_cast<double>(p.b);
+  }
+  return sum / static_cast<double>(pixels_.size());
+}
+
+void Image::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open image for writing: " + path);
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  auto to8 = [](float v) {
+    return static_cast<unsigned char>(
+        std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+  };
+  for (const Rgba& p : pixels_) {
+    unsigned char rgb[3] = {to8(p.r), to8(p.g), to8(p.b)};
+    out.write(reinterpret_cast<const char*>(rgb), 3);
+  }
+  if (!out) throw IoError("image write failed: " + path);
+}
+
+}  // namespace vizcache

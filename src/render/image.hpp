@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "render/transfer_function.hpp"
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Float RGBA framebuffer with PPM export (examples write renderings for
+/// visual inspection).
+class Image {
+ public:
+  Image(usize width, usize height, Rgba fill = {});
+
+  usize width() const { return width_; }
+  usize height() const { return height_; }
+
+  Rgba& at(usize x, usize y) { return pixels_[y * width_ + x]; }
+  const Rgba& at(usize x, usize y) const { return pixels_[y * width_ + x]; }
+
+  /// Fraction of pixels with non-zero alpha (tests use this to check that a
+  /// rendering actually hit the volume).
+  double coverage() const;
+
+  /// Mean luminance of the color channels.
+  double mean_luminance() const;
+
+  /// Binary 8-bit PPM (P6); throws IoError on failure.
+  void write_ppm(const std::string& path) const;
+
+ private:
+  usize width_;
+  usize height_;
+  std::vector<Rgba> pixels_;
+};
+
+}  // namespace vizcache

@@ -1,0 +1,106 @@
+#include "render/raycaster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+
+/// Ray/box intersection with the normalized volume [-1,1]^3; returns entry
+/// and exit distances along the ray, or nullopt on a miss.
+std::optional<std::pair<double, double>> intersect_volume(const Vec3& origin,
+                                                          const Vec3& dir) {
+  double t0 = 0.0, t1 = std::numeric_limits<double>::infinity();
+  const double o[3] = {origin.x, origin.y, origin.z};
+  const double d[3] = {dir.x, dir.y, dir.z};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::abs(d[axis]) < 1e-12) {
+      if (o[axis] < -1.0 || o[axis] > 1.0) return std::nullopt;
+      continue;
+    }
+    double inv = 1.0 / d[axis];
+    double ta = (-1.0 - o[axis]) * inv;
+    double tb = (1.0 - o[axis]) * inv;
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return std::nullopt;
+  }
+  return std::make_pair(t0, t1);
+}
+
+}  // namespace
+
+Image raycast(const Camera& camera, const VolumeSampler& sampler,
+              const TransferFunction& tf, const RaycastParams& params,
+              ThreadPool* pool) {
+  VIZ_REQUIRE(params.step_size > 0.0, "raycast step must be positive");
+  VIZ_REQUIRE(params.value_max > params.value_min, "empty value range");
+
+  Image image(params.image_width, params.image_height);
+
+  const Vec3 eye = camera.position();
+  const Vec3 forward = camera.view_direction();
+  Vec3 helper = std::abs(forward.z) < 0.9 ? Vec3{0, 0, 1} : Vec3{0, 1, 0};
+  const Vec3 right = forward.cross(helper).normalized();
+  const Vec3 up = right.cross(forward).normalized();
+
+  const double tan_half = std::tan(camera.view_angle_rad() * 0.5);
+  const double aspect = static_cast<double>(params.image_width) /
+                        static_cast<double>(params.image_height);
+  const float inv_range = 1.0f / (params.value_max - params.value_min);
+
+  auto render_row = [&](usize y) {
+    double ndc_y =
+        1.0 - 2.0 * (static_cast<double>(y) + 0.5) /
+                  static_cast<double>(params.image_height);
+    for (usize x = 0; x < params.image_width; ++x) {
+      double ndc_x = 2.0 * (static_cast<double>(x) + 0.5) /
+                         static_cast<double>(params.image_width) -
+                     1.0;
+      Vec3 dir = (forward + right * (ndc_x * tan_half * aspect) +
+                  up * (ndc_y * tan_half))
+                     .normalized();
+
+      auto hit = intersect_volume(eye, dir);
+      if (!hit) continue;
+
+      Rgba acc{0, 0, 0, 0};
+      for (double t = hit->first; t < hit->second; t += params.step_size) {
+        std::optional<float> value = sampler(eye + dir * t);
+        if (!value) continue;  // brick not resident: skip this segment
+        float v = std::clamp((*value - params.value_min) * inv_range, 0.0f, 1.0f);
+        Rgba c = tf.sample(v);
+        if (c.a <= 0.0f) continue;
+        // Opacity correction for the step length relative to a unit step.
+        float alpha =
+            1.0f - std::pow(1.0f - c.a, static_cast<float>(params.step_size * 10.0));
+        float w = alpha * (1.0f - acc.a);
+        acc.r += c.r * w;
+        acc.g += c.g * w;
+        acc.b += c.b * w;
+        acc.a += w;
+        if (acc.a >= params.early_termination) break;
+      }
+      image.at(x, y) = acc;
+    }
+  };
+
+  if (pool && pool->thread_count() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(params.image_height);
+    for (usize y = 0; y < params.image_height; ++y) {
+      futures.push_back(pool->submit([&, y] { render_row(y); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (usize y = 0; y < params.image_height; ++y) render_row(y);
+  }
+  return image;
+}
+
+}  // namespace vizcache

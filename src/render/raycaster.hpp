@@ -1,0 +1,37 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "geom/camera.hpp"
+#include "render/image.hpp"
+#include "render/transfer_function.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vizcache {
+
+/// Scalar source for the ray-caster: returns the field value at a point in
+/// the normalized [-1,1]^3 frame, or nullopt where no data is available
+/// (e.g. the containing block is not resident in fast memory). Non-resident
+/// regions are skipped, exactly like an out-of-core renderer that can only
+/// composite loaded bricks.
+using VolumeSampler = std::function<std::optional<float>(const Vec3&)>;
+
+/// Ray-casting parameters.
+struct RaycastParams {
+  usize image_width = 128;
+  usize image_height = 128;
+  double step_size = 0.01;      ///< sampling step along the ray
+  float early_termination = 0.98f;  ///< stop when accumulated alpha exceeds this
+  float value_min = 0.0f;       ///< value range mapped onto the transfer function
+  float value_max = 1.0f;
+};
+
+/// Front-to-back compositing volume ray-caster. Perspective camera looking
+/// at the origin with the camera's cone angle as vertical field of view.
+/// Pass a ThreadPool to parallelize across image rows (optional).
+Image raycast(const Camera& camera, const VolumeSampler& sampler,
+              const TransferFunction& tf, const RaycastParams& params,
+              ThreadPool* pool = nullptr);
+
+}  // namespace vizcache

@@ -1,0 +1,9 @@
+#include "render/render_model.hpp"
+
+namespace vizcache {
+
+RenderTimeModel gpu_render_model() { return {5e-3, 0.4e-3}; }
+
+RenderTimeModel cpu_render_model() { return {30e-3, 3e-3}; }
+
+}  // namespace vizcache

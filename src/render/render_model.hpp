@@ -1,0 +1,28 @@
+#pragma once
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Deterministic model of per-frame GPU rendering time, used by the
+/// simulated benches (the paper overlaps prefetching with rendering, so the
+/// render duration directly determines how much prefetch time is hidden).
+/// The examples use the real CPU ray-caster instead; this model mirrors its
+/// scaling: a fixed per-frame setup cost plus a per-visible-block cost.
+struct RenderTimeModel {
+  SimSeconds base_s = 5e-3;        ///< frame setup / compositing
+  SimSeconds per_block_s = 0.4e-3; ///< per visible block raymarch cost
+
+  SimSeconds frame_time(usize visible_blocks) const {
+    return base_s + per_block_s * static_cast<double>(visible_blocks);
+  }
+};
+
+/// GPU-class renderer (paper's testbed uses GPU-accelerated rendering).
+RenderTimeModel gpu_render_model();
+
+/// Slower CPU-class renderer (ablation: more render time hides more
+/// prefetch).
+RenderTimeModel cpu_render_model();
+
+}  // namespace vizcache

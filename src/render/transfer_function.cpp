@@ -1,0 +1,73 @@
+#include "render/transfer_function.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+TransferFunction::TransferFunction(std::vector<ControlPoint> points)
+    : points_(std::move(points)) {
+  VIZ_REQUIRE(!points_.empty(), "transfer function needs control points");
+  std::sort(points_.begin(), points_.end(),
+            [](const ControlPoint& a, const ControlPoint& b) {
+              return a.value < b.value;
+            });
+}
+
+Rgba TransferFunction::sample(float value) const {
+  VIZ_CHECK(!points_.empty(), "empty transfer function");
+  value = std::clamp(value, 0.0f, 1.0f);
+  if (value <= points_.front().value) return points_.front().color;
+  if (value >= points_.back().value) return points_.back().color;
+  for (usize i = 1; i < points_.size(); ++i) {
+    if (value <= points_[i].value) {
+      const ControlPoint& a = points_[i - 1];
+      const ControlPoint& b = points_[i];
+      float span = b.value - a.value;
+      float t = span > 0.0f ? (value - a.value) / span : 0.0f;
+      auto lerp = [t](float x, float y) { return x + (y - x) * t; };
+      return {lerp(a.color.r, b.color.r), lerp(a.color.g, b.color.g),
+              lerp(a.color.b, b.color.b), lerp(a.color.a, b.color.a)};
+    }
+  }
+  return points_.back().color;
+}
+
+void TransferFunction::scale_opacity(float factor) {
+  for (ControlPoint& p : points_) {
+    p.color.a = std::clamp(p.color.a * factor, 0.0f, 1.0f);
+  }
+}
+
+TransferFunction TransferFunction::grayscale() {
+  return TransferFunction({{0.0f, {0, 0, 0, 0.0f}}, {1.0f, {1, 1, 1, 0.8f}}});
+}
+
+TransferFunction TransferFunction::fire() {
+  return TransferFunction({{0.0f, {0, 0, 0, 0.0f}},
+                           {0.3f, {0.5f, 0.0f, 0.0f, 0.05f}},
+                           {0.6f, {1.0f, 0.4f, 0.0f, 0.3f}},
+                           {0.85f, {1.0f, 0.8f, 0.2f, 0.6f}},
+                           {1.0f, {1.0f, 1.0f, 0.9f, 0.9f}}});
+}
+
+TransferFunction TransferFunction::cool_warm() {
+  return TransferFunction({{0.0f, {0.23f, 0.30f, 0.75f, 0.02f}},
+                           {0.5f, {0.87f, 0.87f, 0.87f, 0.1f}},
+                           {1.0f, {0.71f, 0.02f, 0.15f, 0.7f}}});
+}
+
+TransferFunction TransferFunction::iso_band(float lo, float hi, Rgba color) {
+  VIZ_REQUIRE(lo < hi, "iso band range inverted");
+  float eps = 0.02f;
+  Rgba clear{0, 0, 0, 0};
+  return TransferFunction({{0.0f, clear},
+                           {std::max(0.0f, lo - eps), clear},
+                           {lo, color},
+                           {hi, color},
+                           {std::min(1.0f, hi + eps), clear},
+                           {1.0f, clear}});
+}
+
+}  // namespace vizcache

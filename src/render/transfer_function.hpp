@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// RGBA color (all components in [0, 1], straight alpha).
+struct Rgba {
+  float r = 0.0f;
+  float g = 0.0f;
+  float b = 0.0f;
+  float a = 0.0f;
+};
+
+/// Piecewise-linear transfer function mapping scalar values in [0, 1] to
+/// color and opacity — the user-tunable "data-dependent" control of the
+/// paper (Section III-A). Control points are kept sorted by value.
+class TransferFunction {
+ public:
+  struct ControlPoint {
+    float value;  ///< in [0, 1]
+    Rgba color;
+  };
+
+  TransferFunction() = default;
+  explicit TransferFunction(std::vector<ControlPoint> points);
+
+  /// Interpolated color/opacity at a normalized value (clamped to [0,1]).
+  Rgba sample(float value) const;
+
+  /// Scale all opacities by `factor` (interactive opacity tweaking).
+  void scale_opacity(float factor);
+
+  const std::vector<ControlPoint>& points() const { return points_; }
+
+  /// Presets.
+  static TransferFunction grayscale();
+  /// Black-body "fire" ramp (combustion data).
+  static TransferFunction fire();
+  /// Cool-to-warm diverging map.
+  static TransferFunction cool_warm();
+  /// Mostly-transparent map isolating a value band [lo, hi] — mimics an
+  /// iso-band query (Fig. 1 d/e style data-dependent operation).
+  static TransferFunction iso_band(float lo, float hi, Rgba color);
+
+ private:
+  std::vector<ControlPoint> points_;
+};
+
+}  // namespace vizcache

@@ -1,0 +1,107 @@
+#include "storage/block_cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+BlockCache::BlockCache(u64 capacity_bytes,
+                       std::unique_ptr<ReplacementPolicy> policy,
+                       SizeFn size_fn)
+    : capacity_bytes_(capacity_bytes),
+      policy_(std::move(policy)),
+      size_fn_(std::move(size_fn)) {
+  VIZ_REQUIRE(capacity_bytes_ > 0, "cache capacity must be positive");
+  VIZ_REQUIRE(policy_ != nullptr, "cache needs a replacement policy");
+  VIZ_REQUIRE(size_fn_ != nullptr, "cache needs a block size function");
+}
+
+void BlockCache::touch(BlockId id, u64 step) {
+  auto it = last_use_.find(id);
+  VIZ_REQUIRE(it != last_use_.end(), "touch on non-resident block");
+  it->second = step;
+  policy_->on_access(id);
+}
+
+BlockCache::InsertResult BlockCache::insert(BlockId id, u64 step) {
+  InsertResult result;
+  if (contains(id)) {
+    touch(id, step);
+    return result;
+  }
+  const u64 bytes = size_fn_(id);
+  if (bytes > capacity_bytes_) {
+    ++stats_.bypasses;
+    result.bypassed = true;
+    return result;
+  }
+  // Per-step protection (Algorithm 1 line 16): only blocks whose last use
+  // precedes the current step may be replaced. Victims are selected first
+  // and evicted only once the insert is guaranteed to succeed, so a
+  // bypassed insert leaves the cache untouched (atomicity).
+  std::vector<BlockId> chosen;  // selection order, kept for determinism
+  EvictablePredicate evictable = [this, step, &chosen](BlockId candidate) {
+    if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end()) {
+      return false;
+    }
+    auto it = last_use_.find(candidate);
+    return it != last_use_.end() && it->second < step;
+  };
+  u64 freed = 0;
+  while (occupancy_bytes_ - freed + bytes > capacity_bytes_) {
+    BlockId victim = policy_->choose_victim(evictable);
+    if (victim == kInvalidBlock) {
+      ++stats_.bypasses;
+      result.bypassed = true;
+      return result;
+    }
+    VIZ_CHECK(last_use_.count(victim), "policy chose a non-resident victim");
+    chosen.push_back(victim);
+    freed += size_fn_(victim);
+  }
+  for (BlockId victim : chosen) {
+    occupancy_bytes_ -= size_fn_(victim);
+    last_use_.erase(victim);
+    policy_->on_evict(victim);
+    ++stats_.evictions;
+    result.evicted.push_back(victim);
+  }
+  last_use_[id] = step;
+  occupancy_bytes_ += bytes;
+  policy_->on_insert(id);
+  ++stats_.insertions;
+  result.inserted = true;
+  return result;
+}
+
+bool BlockCache::erase(BlockId id) {
+  auto it = last_use_.find(id);
+  if (it == last_use_.end()) return false;
+  occupancy_bytes_ -= size_fn_(id);
+  last_use_.erase(it);
+  policy_->on_evict(id);
+  ++stats_.evictions;
+  return true;
+}
+
+u64 BlockCache::last_use(BlockId id) const {
+  auto it = last_use_.find(id);
+  VIZ_REQUIRE(it != last_use_.end(), "last_use of non-resident block");
+  return it->second;
+}
+
+std::vector<BlockId> BlockCache::resident_blocks() const {
+  std::vector<BlockId> out;
+  out.reserve(last_use_.size());
+  for (const auto& [id, _] : last_use_) out.push_back(id);
+  return out;
+}
+
+void BlockCache::clear() {
+  for (const auto& [id, _] : last_use_) policy_->on_evict(id);
+  last_use_.clear();
+  occupancy_bytes_ = 0;
+}
+
+}  // namespace vizcache

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/policy.hpp"
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Counters of one cache level.
+struct CacheStats {
+  u64 hits = 0;
+  u64 misses = 0;        ///< demand lookups that were not resident
+  u64 insertions = 0;
+  u64 evictions = 0;
+  u64 bypasses = 0;      ///< inserts refused because every victim was protected
+
+  u64 lookups() const { return hits + misses; }
+  double miss_rate() const {
+    return lookups() ? static_cast<double>(misses) / static_cast<double>(lookups())
+                     : 0.0;
+  }
+};
+
+/// One cache level: a byte-capacity container of block payloads, keyed by
+/// BlockId, with a pluggable replacement policy and the paper's per-step
+/// protection rule (Algorithm 1: a victim's last-use step must be strictly
+/// below the current step).
+class BlockCache {
+ public:
+  using SizeFn = std::function<u64(BlockId)>;
+
+  /// `capacity_bytes` > 0; `size_fn` gives each block's payload size.
+  BlockCache(u64 capacity_bytes, std::unique_ptr<ReplacementPolicy> policy,
+             SizeFn size_fn);
+
+  bool contains(BlockId id) const { return last_use_.count(id) > 0; }
+
+  /// Record a demand access to a resident block at path step `step`:
+  /// refreshes the protection timestamp and informs the policy. The caller
+  /// must have checked contains().
+  void touch(BlockId id, u64 step);
+
+  /// Outcome of an insert attempt.
+  struct InsertResult {
+    bool inserted = false;
+    bool bypassed = false;               ///< no evictable victim existed
+    std::vector<BlockId> evicted;        ///< victims removed to make room
+  };
+
+  /// Make `id` resident at step `step`, evicting protected-aware victims as
+  /// needed. Inserting a resident block degenerates to touch(). A block
+  /// larger than the whole cache, or an insert with every victim protected,
+  /// is bypassed (the read still happened; the block just isn't kept).
+  InsertResult insert(BlockId id, u64 step);
+
+  /// Remove a specific block (used by invalidation tests).
+  bool erase(BlockId id);
+
+  /// Last-use step of a resident block (the paper's time[] array).
+  u64 last_use(BlockId id) const;
+
+  u64 capacity_bytes() const { return capacity_bytes_; }
+  u64 occupancy_bytes() const { return occupancy_bytes_; }
+  usize resident_count() const { return last_use_.size(); }
+  std::vector<BlockId> resident_blocks() const;
+
+  const CacheStats& stats() const { return stats_; }
+  void note_miss() { ++stats_.misses; }
+  void note_hit() { ++stats_.hits; }
+  void reset_stats() { stats_ = {}; }
+
+  ReplacementPolicy& policy() { return *policy_; }
+
+  /// Drop everything (stats preserved).
+  void clear();
+
+ private:
+  u64 capacity_bytes_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  SizeFn size_fn_;
+  std::unordered_map<BlockId, u64> last_use_;
+  u64 occupancy_bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace vizcache

@@ -1,0 +1,21 @@
+#include "storage/device.hpp"
+
+namespace vizcache {
+
+DeviceModel dram_device() {
+  return {"DRAM", 100e-9, 10.0e9};
+}
+
+DeviceModel ssd_device() {
+  return {"SSD", 100e-6, 500.0e6};
+}
+
+DeviceModel hdd_device() {
+  return {"HDD", 8e-3, 150.0e6};
+}
+
+DeviceModel nvme_device() {
+  return {"NVMe", 20e-6, 3.0e9};
+}
+
+}  // namespace vizcache

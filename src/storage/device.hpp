@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Latency/bandwidth model of one storage device. All experiment timing is
+/// simulated through these models so results are deterministic and
+/// machine-independent; parameters default to public spec-sheet values for
+/// the paper's testbed classes (DDR3 DRAM, SATA SSD, 7200rpm HDD).
+struct DeviceModel {
+  std::string name;
+  SimSeconds latency_s = 0.0;     ///< per-request fixed cost (seek/issue)
+  double bandwidth_bps = 1.0;     ///< sustained bytes per second
+
+  /// Simulated time to read `bytes` in one request.
+  SimSeconds transfer_time(u64 bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth_bps;
+  }
+};
+
+/// ~DDR3-1600 main memory.
+DeviceModel dram_device();
+/// ~SATA3 consumer SSD (the paper's 512 GB SSD).
+DeviceModel ssd_device();
+/// ~7200 rpm HDD (the paper's 3 TB HDD).
+DeviceModel hdd_device();
+/// ~PCIe3 NVMe drive (extension experiments).
+DeviceModel nvme_device();
+
+}  // namespace vizcache

@@ -1,0 +1,164 @@
+#include "storage/hierarchy.hpp"
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+double HierarchyStats::fast_miss_rate() const {
+  if (level.empty()) return 0.0;
+  return level.front().miss_rate();
+}
+
+double HierarchyStats::total_miss_rate() const {
+  u64 lookups = 0, misses = 0;
+  for (const CacheStats& s : level) {
+    lookups += s.lookups();
+    misses += s.misses;
+  }
+  return lookups ? static_cast<double>(misses) / static_cast<double>(lookups)
+                 : 0.0;
+}
+
+MemoryHierarchy::MemoryHierarchy(std::vector<LevelSpec> specs,
+                                 DeviceModel backing, SizeFn block_size)
+    : backing_(std::move(backing)), block_size_(std::move(block_size)) {
+  VIZ_REQUIRE(!specs.empty(), "hierarchy needs at least one cache level");
+  VIZ_REQUIRE(block_size_ != nullptr, "hierarchy needs a block size function");
+  levels_.reserve(specs.size());
+  for (LevelSpec& spec : specs) {
+    // Policies that track queue capacities are sized in nominal blocks.
+    usize cap_blocks = static_cast<usize>(
+        spec.capacity_bytes / std::max<u64>(1, block_size_(0)));
+    levels_.push_back({spec.name, spec.device,
+                       std::make_unique<BlockCache>(
+                           spec.capacity_bytes,
+                           make_policy(spec.policy, std::max<usize>(1, cap_blocks)),
+                           block_size_)});
+  }
+  stats_.level.resize(levels_.size());
+}
+
+MemoryHierarchy MemoryHierarchy::paper_testbed(u64 dataset_bytes,
+                                               double cache_ratio,
+                                               PolicyKind policy,
+                                               SizeFn block_size) {
+  VIZ_REQUIRE(cache_ratio > 0.0 && cache_ratio <= 1.0,
+              "cache ratio must be in (0, 1]");
+  VIZ_REQUIRE(dataset_bytes > 0, "empty dataset");
+  u64 ssd_bytes = static_cast<u64>(static_cast<double>(dataset_bytes) * cache_ratio);
+  u64 dram_bytes = static_cast<u64>(static_cast<double>(ssd_bytes) * cache_ratio);
+  std::vector<LevelSpec> specs{
+      {"DRAM", dram_device(), std::max<u64>(1, dram_bytes), policy},
+      {"SSD", ssd_device(), std::max<u64>(1, ssd_bytes), policy},
+  };
+  return MemoryHierarchy(std::move(specs), hdd_device(), std::move(block_size));
+}
+
+const std::string& MemoryHierarchy::level_name(usize level) const {
+  VIZ_REQUIRE(level < levels_.size(), "level out of range");
+  return levels_[level].name;
+}
+
+BlockCache& MemoryHierarchy::cache(usize level) {
+  VIZ_REQUIRE(level < levels_.size(), "level out of range");
+  return *levels_[level].cache;
+}
+
+const BlockCache& MemoryHierarchy::cache(usize level) const {
+  VIZ_REQUIRE(level < levels_.size(), "level out of range");
+  return *levels_[level].cache;
+}
+
+SimSeconds MemoryHierarchy::fetch_internal(BlockId id, u64 step, bool demand) {
+  const u64 bytes = block_size_(id);
+  // Find the fastest level already holding the block.
+  usize found = levels_.size();  // == backing store
+  for (usize i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].cache->contains(id)) {
+      found = i;
+      break;
+    }
+  }
+
+  // Demand accounting: a lookup happens at every level down to (and
+  // including) the one that serves the read.
+  if (demand) {
+    for (usize i = 0; i < levels_.size(); ++i) {
+      if (i < found) {
+        levels_[i].cache->note_miss();
+      } else if (i == found) {
+        levels_[i].cache->note_hit();
+        break;
+      }
+    }
+    if (found == levels_.size()) {
+      ++stats_.backing_reads;
+      stats_.backing_bytes += bytes;
+    }
+  }
+
+  SimSeconds cost;
+  if (found == levels_.size()) {
+    cost = backing_.transfer_time(bytes);
+  } else if (found == 0) {
+    // Already fastest-resident: a demand read touches it; cost is the fast
+    // device's access time (negligible but nonzero).
+    levels_[0].cache->touch(id, step);
+    return demand ? levels_[0].device.transfer_time(bytes) : 0.0;
+  } else {
+    cost = levels_[found].device.transfer_time(bytes);
+    levels_[found].cache->touch(id, step);
+  }
+
+  // Promote into all faster levels (staged placement HDD -> SSD -> DRAM).
+  for (usize i = found; i-- > 0;) {
+    levels_[i].cache->insert(id, step);
+  }
+  return cost;
+}
+
+SimSeconds MemoryHierarchy::fetch(BlockId id, u64 step) {
+  ++stats_.demand_requests;
+  SimSeconds t = fetch_internal(id, step, /*demand=*/true);
+  stats_.demand_io_time += t;
+  sync_level_stats();
+  return t;
+}
+
+SimSeconds MemoryHierarchy::prefetch(BlockId id, u64 step) {
+  if (levels_.front().cache->contains(id)) return 0.0;
+  ++stats_.prefetch_requests;
+  SimSeconds t = fetch_internal(id, step, /*demand=*/false);
+  stats_.prefetch_time += t;
+  sync_level_stats();
+  return t;
+}
+
+void MemoryHierarchy::preload(BlockId id) {
+  for (usize i = levels_.size(); i-- > 0;) {
+    levels_[i].cache->insert(id, 0);
+  }
+  sync_level_stats();
+}
+
+void MemoryHierarchy::sync_level_stats() {
+  for (usize i = 0; i < levels_.size(); ++i) {
+    stats_.level[i] = levels_[i].cache->stats();
+  }
+}
+
+void MemoryHierarchy::reset_stats() {
+  stats_ = {};
+  stats_.level.resize(levels_.size());
+  for (auto& l : levels_) l.cache->reset_stats();
+}
+
+void MemoryHierarchy::reset() {
+  for (auto& l : levels_) {
+    l.cache->clear();
+    l.cache->policy().reset();
+  }
+  reset_stats();
+}
+
+}  // namespace vizcache

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Predicate deciding whether a resident block may be evicted right now.
+/// The application-aware pipeline protects blocks used at the current path
+/// step (Algorithm 1 line 16: the victim's last-use time must be < i).
+using EvictablePredicate = std::function<bool(BlockId)>;
+
+/// Replacement-policy strategy interface. A BlockCache keeps one policy in
+/// sync with its resident set via on_insert/on_access/on_evict and asks
+/// choose_victim() when it must free space. Policies are deterministic.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// A new block became resident.
+  virtual void on_insert(BlockId id) = 0;
+  /// A resident block was accessed (hit).
+  virtual void on_access(BlockId id) = 0;
+  /// A block was removed from the cache.
+  virtual void on_evict(BlockId id) = 0;
+
+  /// Pick a victim among resident blocks satisfying `evictable`; returns
+  /// kInvalidBlock when no resident block is evictable.
+  virtual BlockId choose_victim(const EvictablePredicate& evictable) = 0;
+
+  /// Forget all state.
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The policy zoo. kFifo / kLru are the paper's baselines; the rest are
+/// extension baselines for the ablation benches (ARC is the related-work
+/// policy of Megiddo & Modha; kBelady is the offline optimal upper bound).
+enum class PolicyKind {
+  kFifo,
+  kLru,
+  kMru,
+  kClock,
+  kLfu,
+  kArc,
+  kTwoQ,
+  kBelady,
+};
+
+const char* policy_kind_name(PolicyKind kind);
+
+/// Parse "fifo" / "lru" / ... ; throws InvalidArgument on junk.
+PolicyKind parse_policy_kind(const std::string& text);
+
+/// Create a policy. `capacity_blocks` sizes the internal queues of ARC/2Q
+/// (ignored by the others). Belady policies must be fed the future access
+/// trace via BeladyOracle::set_trace before use (see policy_belady.hpp).
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind,
+                                               usize capacity_blocks);
+
+}  // namespace vizcache

@@ -1,0 +1,154 @@
+#include <list>
+#include <unordered_map>
+
+#include "storage/policy.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+
+/// Adaptive Replacement Cache (Megiddo & Modha, FAST'03) — the related-work
+/// policy the paper cites. T1 holds blocks seen once, T2 blocks seen twice+;
+/// ghost lists B1/B2 steer the adaptation target p. The original algorithm
+/// performs its REPLACE inside the request path; here the host cache drives
+/// eviction, so choose_victim() applies the same T1-vs-T2 balance rule and
+/// on_evict() files the victim into the matching ghost list.
+class ArcPolicy final : public ReplacementPolicy {
+ public:
+  explicit ArcPolicy(usize capacity) : capacity_(capacity ? capacity : 1) {}
+
+  void on_insert(BlockId id) override {
+    VIZ_CHECK(!where_.count(id), "duplicate insert into ARC");
+    if (ghost_b1_.erase_if_present(id)) {
+      // Hit in B1: recency working set is larger than p allows — grow p.
+      usize delta = std::max<usize>(1, ghost_b2_.size() /
+                                           std::max<usize>(1, ghost_b1_.size()));
+      p_ = std::min(capacity_, p_ + delta);
+      push_front(t2_, id, Where::kT2);
+    } else if (ghost_b2_.erase_if_present(id)) {
+      // Hit in B2: frequency set needs more room — shrink p.
+      usize delta = std::max<usize>(1, ghost_b1_.size() /
+                                           std::max<usize>(1, ghost_b2_.size()));
+      p_ = p_ > delta ? p_ - delta : 0;
+      push_front(t2_, id, Where::kT2);
+    } else {
+      push_front(t1_, id, Where::kT1);
+    }
+  }
+
+  void on_access(BlockId id) override {
+    auto it = where_.find(id);
+    VIZ_CHECK(it != where_.end(), "access to unknown block in ARC");
+    // Any resident hit promotes to the frequent list T2.
+    auto& from = it->second.where == Where::kT1 ? t1_ : t2_;
+    from.erase(it->second.pos);
+    push_front_existing(it->second, id);
+  }
+
+  void on_evict(BlockId id) override {
+    auto it = where_.find(id);
+    VIZ_CHECK(it != where_.end(), "evicting unknown block from ARC");
+    if (it->second.where == Where::kT1) {
+      t1_.erase(it->second.pos);
+      ghost_b1_.push(id, capacity_);
+    } else {
+      t2_.erase(it->second.pos);
+      ghost_b2_.push(id, capacity_);
+    }
+    where_.erase(it);
+  }
+
+  BlockId choose_victim(const EvictablePredicate& evictable) override {
+    // ARC balance: evict from T1 while it exceeds the target p, else T2.
+    bool prefer_t1 = !t1_.empty() && (t1_.size() > p_ || t2_.empty());
+    BlockId v = prefer_t1 ? victim_from(t1_, evictable) : victim_from(t2_, evictable);
+    if (v != kInvalidBlock) return v;
+    // Preferred list fully protected: try the other one.
+    return prefer_t1 ? victim_from(t2_, evictable) : victim_from(t1_, evictable);
+  }
+
+  void reset() override {
+    t1_.clear();
+    t2_.clear();
+    where_.clear();
+    ghost_b1_.clear();
+    ghost_b2_.clear();
+    p_ = 0;
+  }
+
+  std::string name() const override { return "ARC"; }
+
+  usize target_p() const { return p_; }  // exposed for tests
+
+ private:
+  enum class Where { kT1, kT2 };
+  struct Slot {
+    Where where;
+    std::list<BlockId>::iterator pos;
+  };
+
+  /// Bounded FIFO set of ghost ids.
+  class GhostList {
+   public:
+    void push(BlockId id, usize cap) {
+      order_.push_front(id);
+      index_[id] = order_.begin();
+      while (order_.size() > cap) {
+        index_.erase(order_.back());
+        order_.pop_back();
+      }
+    }
+    bool erase_if_present(BlockId id) {
+      auto it = index_.find(id);
+      if (it == index_.end()) return false;
+      order_.erase(it->second);
+      index_.erase(it);
+      return true;
+    }
+    usize size() const { return order_.size(); }
+    void clear() {
+      order_.clear();
+      index_.clear();
+    }
+
+   private:
+    std::list<BlockId> order_;
+    std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+  };
+
+  void push_front(std::list<BlockId>& lst, BlockId id, Where where) {
+    lst.push_front(id);
+    where_[id] = {where, lst.begin()};
+  }
+
+  void push_front_existing(Slot& slot, BlockId id) {
+    t2_.push_front(id);
+    slot.where = Where::kT2;
+    slot.pos = t2_.begin();
+  }
+
+  BlockId victim_from(std::list<BlockId>& lst,
+                      const EvictablePredicate& evictable) const {
+    for (auto it = lst.rbegin(); it != lst.rend(); ++it) {
+      if (evictable(*it)) return *it;
+    }
+    return kInvalidBlock;
+  }
+
+  usize capacity_;
+  usize p_ = 0;  // adaptation target for |T1|
+  std::list<BlockId> t1_;
+  std::list<BlockId> t2_;
+  std::unordered_map<BlockId, Slot> where_;
+  GhostList ghost_b1_;
+  GhostList ghost_b2_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_arc_policy(usize capacity_blocks) {
+  return std::make_unique<ArcPolicy>(capacity_blocks);
+}
+
+}  // namespace vizcache

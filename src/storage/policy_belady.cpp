@@ -1,0 +1,86 @@
+#include "storage/policy_belady.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+struct BeladyOracle::Impl {
+  std::vector<BlockId> trace;
+  /// Ascending positions of each block in the trace.
+  std::unordered_map<BlockId, std::vector<usize>> positions;
+  std::unordered_set<BlockId> resident;
+  usize cursor = 0;
+
+  /// Position of the next use of `id` strictly after the cursor;
+  /// trace.size() when never used again.
+  usize next_use(BlockId id) const {
+    auto it = positions.find(id);
+    if (it == positions.end()) return trace.size();
+    const auto& pos = it->second;
+    auto p = std::lower_bound(pos.begin(), pos.end(), cursor);
+    return p == pos.end() ? trace.size() : *p;
+  }
+
+  void advance(BlockId id) {
+    // The host must drive accesses in trace order; tolerate slight drift by
+    // resyncing the cursor to just past this block's nearest occurrence.
+    usize nu = next_use(id);
+    cursor = nu < trace.size() ? nu + 1 : cursor + 1;
+  }
+};
+
+BeladyOracle::BeladyOracle() : impl_(std::make_unique<Impl>()) {}
+BeladyOracle::~BeladyOracle() = default;
+
+void BeladyOracle::set_trace(std::vector<BlockId> trace) {
+  impl_->trace = std::move(trace);
+  impl_->positions.clear();
+  for (usize i = 0; i < impl_->trace.size(); ++i) {
+    impl_->positions[impl_->trace[i]].push_back(i);
+  }
+  impl_->cursor = 0;
+  impl_->resident.clear();
+}
+
+void BeladyOracle::on_insert(BlockId id) {
+  VIZ_CHECK(impl_->resident.insert(id).second, "duplicate insert into BELADY");
+  impl_->advance(id);
+}
+
+void BeladyOracle::on_access(BlockId id) {
+  VIZ_CHECK(impl_->resident.count(id), "access to unknown block in BELADY");
+  impl_->advance(id);
+}
+
+void BeladyOracle::on_evict(BlockId id) {
+  VIZ_CHECK(impl_->resident.erase(id) == 1,
+            "evicting unknown block from BELADY");
+}
+
+BlockId BeladyOracle::choose_victim(const EvictablePredicate& evictable) {
+  BlockId best = kInvalidBlock;
+  usize best_next = 0;
+  for (BlockId id : impl_->resident) {
+    if (!evictable(id)) continue;
+    usize nu = impl_->next_use(id);
+    if (best == kInvalidBlock || nu > best_next ||
+        (nu == best_next && id < best)) {
+      best = id;
+      best_next = nu;
+    }
+  }
+  return best;
+}
+
+void BeladyOracle::reset() {
+  impl_->resident.clear();
+  impl_->cursor = 0;
+}
+
+usize BeladyOracle::cursor() const { return impl_->cursor; }
+
+}  // namespace vizcache

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/policy.hpp"
+
+namespace vizcache {
+
+/// Belady's offline-optimal replacement (MIN): evicts the resident block
+/// whose next use lies farthest in the future. Requires the full future
+/// access sequence, so it is usable only as an oracle upper bound in the
+/// ablation benches — feed it the demand-access trace of a recorded run
+/// before replaying the same run.
+class BeladyOracle final : public ReplacementPolicy {
+ public:
+  BeladyOracle();
+  ~BeladyOracle() override;
+
+  /// The exact sequence of demand accesses (hits and misses alike) the host
+  /// cache will issue. Resets the playback cursor.
+  void set_trace(std::vector<BlockId> trace);
+
+  void on_insert(BlockId id) override;
+  void on_access(BlockId id) override;
+  void on_evict(BlockId id) override;
+  BlockId choose_victim(const EvictablePredicate& evictable) override;
+  void reset() override;
+  std::string name() const override { return "BELADY"; }
+
+  /// Playback position (accesses consumed so far) — exposed for tests.
+  usize cursor() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vizcache

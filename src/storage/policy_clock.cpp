@@ -1,0 +1,101 @@
+#include <list>
+#include <unordered_map>
+
+#include "storage/policy.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+
+/// CLOCK (second-chance): a circular list with reference bits. The hand
+/// clears reference bits as it sweeps and evicts the first unreferenced,
+/// evictable block. Classic low-overhead LRU approximation.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  void on_insert(BlockId id) override {
+    VIZ_CHECK(!index_.count(id), "duplicate insert into CLOCK");
+    // Insert just behind the hand so new pages get a full sweep of grace.
+    auto pos = hand_valid_ ? hand_ : ring_.begin();
+    auto it = ring_.insert(pos, Entry{id, true});
+    index_[id] = it;
+    if (!hand_valid_) {
+      hand_ = it;
+      hand_valid_ = true;
+    }
+  }
+
+  void on_access(BlockId id) override {
+    auto it = index_.find(id);
+    VIZ_CHECK(it != index_.end(), "access to unknown block in CLOCK");
+    it->second->referenced = true;
+  }
+
+  void on_evict(BlockId id) override {
+    auto it = index_.find(id);
+    VIZ_CHECK(it != index_.end(), "evicting unknown block from CLOCK");
+    if (hand_valid_ && hand_ == it->second) advance_hand();
+    ring_.erase(it->second);
+    index_.erase(it);
+    if (ring_.empty()) hand_valid_ = false;
+  }
+
+  BlockId choose_victim(const EvictablePredicate& evictable) override {
+    if (ring_.empty()) return kInvalidBlock;
+    // Bounded sweep: two full revolutions guarantee every referenced bit has
+    // been cleared once; afterwards any remaining candidates are protected.
+    usize budget = ring_.size() * 2;
+    while (budget-- > 0) {
+      Entry& e = *hand_;
+      if (!evictable(e.id)) {
+        advance_hand();
+        continue;
+      }
+      if (e.referenced) {
+        e.referenced = false;
+        advance_hand();
+        continue;
+      }
+      return e.id;
+    }
+    // Everything evictable is referenced-and-protected cycling; fall back to
+    // the first evictable entry.
+    for (const Entry& e : ring_) {
+      if (evictable(e.id)) return e.id;
+    }
+    return kInvalidBlock;
+  }
+
+  void reset() override {
+    ring_.clear();
+    index_.clear();
+    hand_valid_ = false;
+  }
+
+  std::string name() const override { return "CLOCK"; }
+
+ private:
+  struct Entry {
+    BlockId id;
+    bool referenced;
+  };
+
+  void advance_hand() {
+    VIZ_CHECK(!ring_.empty(), "advancing hand on empty ring");
+    ++hand_;
+    if (hand_ == ring_.end()) hand_ = ring_.begin();
+  }
+
+  std::list<Entry> ring_;
+  std::unordered_map<BlockId, std::list<Entry>::iterator> index_;
+  std::list<Entry>::iterator hand_;
+  bool hand_valid_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_clock_policy() {
+  return std::make_unique<ClockPolicy>();
+}
+
+}  // namespace vizcache

@@ -1,0 +1,62 @@
+#include <algorithm>
+
+#include "storage/policy.hpp"
+#include "storage/policy_belady.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+
+// Out-of-line factories defined by the individual policy TUs.
+std::unique_ptr<ReplacementPolicy> make_fifo_policy();
+std::unique_ptr<ReplacementPolicy> make_lru_policy();
+std::unique_ptr<ReplacementPolicy> make_mru_policy();
+std::unique_ptr<ReplacementPolicy> make_clock_policy();
+std::unique_ptr<ReplacementPolicy> make_lfu_policy();
+std::unique_ptr<ReplacementPolicy> make_arc_policy(usize capacity_blocks);
+std::unique_ptr<ReplacementPolicy> make_two_q_policy(usize capacity_blocks);
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo: return "FIFO";
+    case PolicyKind::kLru: return "LRU";
+    case PolicyKind::kMru: return "MRU";
+    case PolicyKind::kClock: return "CLOCK";
+    case PolicyKind::kLfu: return "LFU";
+    case PolicyKind::kArc: return "ARC";
+    case PolicyKind::kTwoQ: return "2Q";
+    case PolicyKind::kBelady: return "BELADY";
+  }
+  throw InvalidArgument("unknown policy kind");
+}
+
+PolicyKind parse_policy_kind(const std::string& text) {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (t == "fifo") return PolicyKind::kFifo;
+  if (t == "lru") return PolicyKind::kLru;
+  if (t == "mru") return PolicyKind::kMru;
+  if (t == "clock") return PolicyKind::kClock;
+  if (t == "lfu") return PolicyKind::kLfu;
+  if (t == "arc") return PolicyKind::kArc;
+  if (t == "2q" || t == "twoq") return PolicyKind::kTwoQ;
+  if (t == "belady" || t == "min" || t == "opt-oracle") return PolicyKind::kBelady;
+  throw InvalidArgument("unknown policy name: " + text);
+}
+
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind,
+                                               usize capacity_blocks) {
+  switch (kind) {
+    case PolicyKind::kFifo: return make_fifo_policy();
+    case PolicyKind::kLru: return make_lru_policy();
+    case PolicyKind::kMru: return make_mru_policy();
+    case PolicyKind::kClock: return make_clock_policy();
+    case PolicyKind::kLfu: return make_lfu_policy();
+    case PolicyKind::kArc: return make_arc_policy(capacity_blocks);
+    case PolicyKind::kTwoQ: return make_two_q_policy(capacity_blocks);
+    case PolicyKind::kBelady: return std::make_unique<BeladyOracle>();
+  }
+  throw InvalidArgument("unknown policy kind");
+}
+
+}  // namespace vizcache

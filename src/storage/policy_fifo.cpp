@@ -1,0 +1,29 @@
+#include "storage/policy_list_base.hpp"
+
+namespace vizcache {
+
+namespace {
+
+/// First-In-First-Out: victims in insertion order; accesses don't reorder.
+/// One of the two baselines the paper compares against.
+class FifoPolicy final : public ListOrderedPolicy {
+ public:
+  // FIFO ignores hits for ordering, but still validates residency.
+  void on_access(BlockId id) override {
+    VIZ_CHECK(index_.count(id), "access to unknown block in FIFO");
+  }
+
+  BlockId choose_victim(const EvictablePredicate& evictable) override {
+    return victim_from_back(evictable);
+  }
+
+  std::string name() const override { return "FIFO"; }
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_fifo_policy() {
+  return std::make_unique<FifoPolicy>();
+}
+
+}  // namespace vizcache

@@ -1,0 +1,71 @@
+#include <unordered_map>
+
+#include "storage/policy.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+
+/// Least-Frequently-Used with LRU tie-breaking. Frequency counts persist
+/// only while a block is resident (no ghost history), which is the classic
+/// in-cache LFU variant.
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  void on_insert(BlockId id) override {
+    VIZ_CHECK(!entries_.count(id), "duplicate insert into LFU");
+    entries_[id] = {1, ++tick_};
+  }
+
+  void on_access(BlockId id) override {
+    auto it = entries_.find(id);
+    VIZ_CHECK(it != entries_.end(), "access to unknown block in LFU");
+    ++it->second.frequency;
+    it->second.last_tick = ++tick_;
+  }
+
+  void on_evict(BlockId id) override {
+    VIZ_CHECK(entries_.erase(id) == 1, "evicting unknown block from LFU");
+  }
+
+  BlockId choose_victim(const EvictablePredicate& evictable) override {
+    BlockId best = kInvalidBlock;
+    u64 best_freq = 0;
+    u64 best_tick = 0;
+    for (const auto& [id, e] : entries_) {
+      if (!evictable(id)) continue;
+      bool better = best == kInvalidBlock || e.frequency < best_freq ||
+                    (e.frequency == best_freq && e.last_tick < best_tick);
+      if (better) {
+        best = id;
+        best_freq = e.frequency;
+        best_tick = e.last_tick;
+      }
+    }
+    return best;
+  }
+
+  void reset() override {
+    entries_.clear();
+    tick_ = 0;
+  }
+
+  std::string name() const override { return "LFU"; }
+
+ private:
+  struct Entry {
+    u64 frequency;
+    u64 last_tick;
+  };
+
+  std::unordered_map<BlockId, Entry> entries_;
+  u64 tick_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_lfu_policy() {
+  return std::make_unique<LfuPolicy>();
+}
+
+}  // namespace vizcache

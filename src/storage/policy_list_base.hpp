@@ -1,0 +1,62 @@
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "storage/policy.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+
+/// Shared machinery for queue-ordered policies (FIFO / LRU / MRU): a doubly
+/// linked list of resident blocks plus an index. Subclasses decide whether
+/// accesses reorder (LRU/MRU) and which end victims come from.
+class ListOrderedPolicy : public ReplacementPolicy {
+ public:
+  void on_insert(BlockId id) override {
+    VIZ_CHECK(!index_.count(id), "duplicate insert into policy");
+    order_.push_front(id);  // front = most recently inserted/used
+    index_[id] = order_.begin();
+  }
+
+  void on_evict(BlockId id) override {
+    auto it = index_.find(id);
+    VIZ_CHECK(it != index_.end(), "evicting unknown block");
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void reset() override {
+    order_.clear();
+    index_.clear();
+  }
+
+ protected:
+  /// Move an accessed block to the front (recency order).
+  void move_to_front(BlockId id) {
+    auto it = index_.find(id);
+    VIZ_CHECK(it != index_.end(), "access to unknown block");
+    order_.splice(order_.begin(), order_, it->second);
+  }
+
+  /// First evictable block scanning from the back (oldest).
+  BlockId victim_from_back(const EvictablePredicate& evictable) const {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      if (evictable(*it)) return *it;
+    }
+    return kInvalidBlock;
+  }
+
+  /// First evictable block scanning from the front (newest).
+  BlockId victim_from_front(const EvictablePredicate& evictable) const {
+    for (BlockId id : order_) {
+      if (evictable(id)) return id;
+    }
+    return kInvalidBlock;
+  }
+
+  std::list<BlockId> order_;
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> index_;
+};
+
+}  // namespace vizcache

@@ -1,0 +1,28 @@
+#include "storage/policy_list_base.hpp"
+
+namespace vizcache {
+
+namespace {
+
+/// Least-Recently-Used: victims from the cold end of the recency list.
+/// The second paper baseline, and the replacement core the application-aware
+/// pipeline builds on (Algorithm 1 replaces "the block with the lowest value
+/// in time", i.e. LRU with per-step protection).
+class LruPolicy final : public ListOrderedPolicy {
+ public:
+  void on_access(BlockId id) override { move_to_front(id); }
+
+  BlockId choose_victim(const EvictablePredicate& evictable) override {
+    return victim_from_back(evictable);
+  }
+
+  std::string name() const override { return "LRU"; }
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_lru_policy() {
+  return std::make_unique<LruPolicy>();
+}
+
+}  // namespace vizcache

@@ -1,0 +1,27 @@
+#include "storage/policy_list_base.hpp"
+
+namespace vizcache {
+
+namespace {
+
+/// Most-Recently-Used: evicts the hottest block. Pathological for most
+/// workloads but optimal for cyclic scans larger than the cache; included as
+/// an ablation baseline.
+class MruPolicy final : public ListOrderedPolicy {
+ public:
+  void on_access(BlockId id) override { move_to_front(id); }
+
+  BlockId choose_victim(const EvictablePredicate& evictable) override {
+    return victim_from_front(evictable);
+  }
+
+  std::string name() const override { return "MRU"; }
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_mru_policy() {
+  return std::make_unique<MruPolicy>();
+}
+
+}  // namespace vizcache

@@ -1,0 +1,124 @@
+#include <list>
+#include <unordered_map>
+
+#include "storage/policy.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+
+/// 2Q (Johnson & Shasha, VLDB'94), simplified full version: new blocks enter
+/// the FIFO probation queue A1in; blocks re-fetched after falling out of
+/// A1in (tracked by the ghost queue A1out) enter the protected LRU queue Am.
+/// Kin = capacity/4, Kout = capacity/2 per the original recommendations.
+class TwoQPolicy final : public ReplacementPolicy {
+ public:
+  explicit TwoQPolicy(usize capacity)
+      : kin_(std::max<usize>(1, capacity / 4)),
+        kout_(std::max<usize>(1, capacity / 2)) {}
+
+  void on_insert(BlockId id) override {
+    VIZ_CHECK(!where_.count(id), "duplicate insert into 2Q");
+    if (ghost_.count(id)) {
+      ghost_erase(id);
+      push_front(am_, id, Where::kAm);
+    } else {
+      push_front(a1in_, id, Where::kA1in);
+    }
+  }
+
+  void on_access(BlockId id) override {
+    auto it = where_.find(id);
+    VIZ_CHECK(it != where_.end(), "access to unknown block in 2Q");
+    // 2Q: hits in Am refresh recency; hits in A1in deliberately do nothing
+    // (correlated references shouldn't promote).
+    if (it->second.where == Where::kAm) {
+      am_.splice(am_.begin(), am_, it->second.pos);
+      it->second.pos = am_.begin();
+    }
+  }
+
+  void on_evict(BlockId id) override {
+    auto it = where_.find(id);
+    VIZ_CHECK(it != where_.end(), "evicting unknown block from 2Q");
+    if (it->second.where == Where::kA1in) {
+      a1in_.erase(it->second.pos);
+      ghost_push(id);
+    } else {
+      am_.erase(it->second.pos);
+    }
+    where_.erase(it);
+  }
+
+  BlockId choose_victim(const EvictablePredicate& evictable) override {
+    bool prefer_a1in = a1in_.size() > kin_ || am_.empty();
+    BlockId v = prefer_a1in ? victim_from(a1in_, evictable)
+                            : victim_from(am_, evictable);
+    if (v != kInvalidBlock) return v;
+    return prefer_a1in ? victim_from(am_, evictable)
+                       : victim_from(a1in_, evictable);
+  }
+
+  void reset() override {
+    a1in_.clear();
+    am_.clear();
+    where_.clear();
+    ghost_order_.clear();
+    ghost_.clear();
+  }
+
+  std::string name() const override { return "2Q"; }
+
+ private:
+  enum class Where { kA1in, kAm };
+  struct Slot {
+    Where where;
+    std::list<BlockId>::iterator pos;
+  };
+
+  void push_front(std::list<BlockId>& lst, BlockId id, Where where) {
+    lst.push_front(id);
+    where_[id] = {where, lst.begin()};
+  }
+
+  BlockId victim_from(std::list<BlockId>& lst,
+                      const EvictablePredicate& evictable) const {
+    for (auto it = lst.rbegin(); it != lst.rend(); ++it) {
+      if (evictable(*it)) return *it;
+    }
+    return kInvalidBlock;
+  }
+
+  void ghost_push(BlockId id) {
+    ghost_order_.push_front(id);
+    ghost_[id] = ghost_order_.begin();
+    while (ghost_order_.size() > kout_) {
+      ghost_.erase(ghost_order_.back());
+      ghost_order_.pop_back();
+    }
+  }
+
+  void ghost_erase(BlockId id) {
+    auto it = ghost_.find(id);
+    if (it == ghost_.end()) return;
+    ghost_order_.erase(it->second);
+    ghost_.erase(it);
+  }
+
+  usize kin_;
+  usize kout_;
+  std::list<BlockId> a1in_;
+  std::list<BlockId> am_;
+  std::unordered_map<BlockId, Slot> where_;
+  std::list<BlockId> ghost_order_;
+  std::unordered_map<BlockId, std::list<BlockId>::iterator> ghost_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_two_q_policy(usize capacity_blocks) {
+  return std::make_unique<TwoQPolicy>(capacity_blocks);
+}
+
+}  // namespace vizcache

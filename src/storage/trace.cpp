@@ -1,0 +1,47 @@
+#include "storage/trace.hpp"
+
+#include <fstream>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+std::vector<BlockId> TraceRecorder::id_sequence() const {
+  std::vector<BlockId> out;
+  out.reserve(accesses_.size());
+  for (const Access& a : accesses_) out.push_back(a.id);
+  return out;
+}
+
+usize TraceRecorder::unique_blocks() const {
+  std::unordered_set<BlockId> set;
+  for (const Access& a : accesses_) set.insert(a.id);
+  return set.size();
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("cannot open trace for writing: " + path);
+  for (const Access& a : accesses_) {
+    out << a.step << ',' << a.id << '\n';
+  }
+  if (!out) throw IoError("trace write failed: " + path);
+}
+
+TraceRecorder TraceRecorder::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open trace: " + path);
+  TraceRecorder rec;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto comma = line.find(',');
+    VIZ_CHECK(comma != std::string::npos, "malformed trace line: " + line);
+    rec.record(std::stoull(line.substr(0, comma)),
+               static_cast<BlockId>(std::stoul(line.substr(comma + 1))));
+  }
+  return rec;
+}
+
+}  // namespace vizcache

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// One recorded block access.
+struct Access {
+  u64 step = 0;     ///< camera-path step index
+  BlockId id = 0;
+};
+
+/// Records the demand-access sequence of a pipeline run. Used to (a) feed
+/// the Belady oracle for the offline-optimal ablation, (b) replay identical
+/// workloads across policies, and (c) assert determinism in tests.
+class TraceRecorder {
+ public:
+  void record(u64 step, BlockId id) { accesses_.push_back({step, id}); }
+
+  const std::vector<Access>& accesses() const { return accesses_; }
+  usize size() const { return accesses_.size(); }
+  void clear() { accesses_.clear(); }
+
+  /// Just the block-id sequence (Belady input).
+  std::vector<BlockId> id_sequence() const;
+
+  /// Number of distinct blocks touched.
+  usize unique_blocks() const;
+
+  /// Serialize as "step,id" lines; throws IoError on failure.
+  void save(const std::string& path) const;
+  static TraceRecorder load(const std::string& path);
+
+ private:
+  std::vector<Access> accesses_;
+};
+
+}  // namespace vizcache

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Flat key=value configuration used by example apps and bench binaries.
+/// Values come from command-line arguments of the form `key=value`; bare
+/// arguments are collected as positionals.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv (skipping argv[0]).
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  i64 get_int(const std::string& key, i64 fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  /// Byte sizes ("512M"); see parse_bytes().
+  u64 get_bytes(const std::string& key, u64 fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// All keys, sorted (for help/diagnostics output).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace vizcache

@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : path_(path), columns_(columns.size()) {
+  VIZ_REQUIRE(!columns.empty(), "CSV needs at least one column");
+  out_.open(path, std::ios::trunc);
+  if (!out_) throw IoError("cannot open CSV for writing: " + path);
+  for (usize i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  VIZ_REQUIRE(cells.size() == columns_, "CSV row arity mismatch");
+  for (usize i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_) throw IoError("CSV write failed: " + path_);
+  ++rows_;
+}
+
+std::string CsvWriter::to_cell(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+std::string CsvWriter::to_cell(u64 v) { return std::to_string(v); }
+std::string CsvWriter::to_cell(i64 v) { return std::to_string(v); }
+std::string CsvWriter::to_cell(const std::string& v) { return v; }
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace vizcache

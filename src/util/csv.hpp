@@ -1,0 +1,44 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Row-oriented CSV writer. Every bench binary emits its series both to
+/// stdout (human-readable table) and to a CSV file for plotting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws IoError on
+  /// failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append one row; cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: mixed string/number row built by the caller via to_cell().
+  static std::string to_cell(double v);
+  static std::string to_cell(u64 v);
+  static std::string to_cell(i64 v);
+  static std::string to_cell(const std::string& v);
+
+  const std::string& path() const { return path_; }
+  usize rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+  usize columns_;
+  usize rows_ = 0;
+};
+
+}  // namespace vizcache

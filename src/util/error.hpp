@@ -1,0 +1,56 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vizcache {
+
+/// Base exception for all vizcache errors.
+class VizError : public std::runtime_error {
+ public:
+  explicit VizError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a precondition on a public API argument is violated.
+class InvalidArgument : public VizError {
+ public:
+  explicit InvalidArgument(const std::string& what) : VizError(what) {}
+};
+
+/// Thrown on I/O failures (file-backed block stores, table serialization).
+class IoError : public VizError {
+ public:
+  explicit IoError(const std::string& what) : VizError(what) {}
+};
+
+namespace detail {
+template <typename E>
+[[noreturn]] inline void throw_error(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check `" << expr << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw E(os.str());
+}
+}  // namespace detail
+
+}  // namespace vizcache
+
+/// Precondition check on public API arguments; throws InvalidArgument.
+#define VIZ_REQUIRE(expr, msg)                                                   \
+  do {                                                                           \
+    if (!(expr))                                                                 \
+      ::vizcache::detail::throw_error<::vizcache::InvalidArgument>(#expr,        \
+                                                                   __FILE__,     \
+                                                                   __LINE__,     \
+                                                                   (msg));       \
+  } while (0)
+
+/// Internal invariant check; throws VizError.
+#define VIZ_CHECK(expr, msg)                                                     \
+  do {                                                                           \
+    if (!(expr))                                                                 \
+      ::vizcache::detail::throw_error<::vizcache::VizError>(#expr, __FILE__,     \
+                                                            __LINE__, (msg));    \
+  } while (0)

@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace vizcache {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+LogLevel Log::level() { return g_level.load(); }
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[vizcache " << level_tag(level) << "] " << msg << "\n";
+}
+
+Log::Line::~Line() { Log::write(level_, os_.str()); }
+
+}  // namespace vizcache

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vizcache {
+
+/// Log severity, ordered.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal leveled logger writing to stderr. Thread-safe at line granularity.
+/// Global level defaults to kInfo; benches drop to kWarn to keep output clean.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  static void write(LogLevel level, const std::string& msg);
+
+  /// Stream-style helper: Log::Line(LogLevel::kInfo) << "x=" << x;
+  class Line {
+   public:
+    explicit Line(LogLevel level) : level_(level) {}
+    ~Line();
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+
+    template <typename T>
+    Line& operator<<(const T& v) {
+      os_ << v;
+      return *this;
+    }
+
+   private:
+    LogLevel level_;
+    std::ostringstream os_;
+  };
+};
+
+}  // namespace vizcache
+
+#define VIZ_LOG_DEBUG ::vizcache::Log::Line(::vizcache::LogLevel::kDebug)
+#define VIZ_LOG_INFO ::vizcache::Log::Line(::vizcache::LogLevel::kInfo)
+#define VIZ_LOG_WARN ::vizcache::Log::Line(::vizcache::LogLevel::kWarn)
+#define VIZ_LOG_ERROR ::vizcache::Log::Line(::vizcache::LogLevel::kError)

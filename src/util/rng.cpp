@@ -1,0 +1,55 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+u64 Rng::next_u64() {
+  // SplitMix64 (Steele, Lea, Flood 2014). Passes BigCrush; tiny state keeps
+  // fork() cheap and the generator trivially copyable.
+  u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::next_double() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+u64 Rng::next_below(u64 n) {
+  VIZ_REQUIRE(n > 0, "next_below(0)");
+  // Rejection sampling to avoid modulo bias.
+  const u64 threshold = (0ULL - n) % n;
+  for (;;) {
+    u64 r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+Rng Rng::fork() {
+  return Rng(next_u64());
+}
+
+}  // namespace vizcache

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Deterministic, seedable pseudo-random generator (SplitMix64 core).
+///
+/// Every stochastic component in vizcache (camera paths, dataset noise,
+/// vicinal-sphere sampling) takes an explicit Rng so experiments are exactly
+/// reproducible from a printed seed. Never uses wall-clock entropy.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  u64 next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  u64 next_below(u64 n);
+
+  /// Standard normal via Box-Muller (consumes two uniforms).
+  double normal();
+
+  /// Normal with given mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Derive an independent child stream (for per-component seeding).
+  Rng fork();
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (usize i = v.size() - 1; i > 0; --i) {
+      usize j = static_cast<usize>(next_below(i + 1));
+      std::swap(v[i], v[j]);
+    }
+  }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace vizcache

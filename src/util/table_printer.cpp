@@ -1,0 +1,60 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  VIZ_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  VIZ_REQUIRE(cells.size() == columns_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::render(const std::string& title) const {
+  std::vector<usize> width(columns_.size());
+  for (usize c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& r : rows_)
+    for (usize c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream os;
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (usize c = 0; c < cells.size(); ++c) {
+      os << cells[c] << std::string(width[c] - cells[c].size(), ' ');
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  usize total = 0;
+  for (usize c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TablePrinter::print(const std::string& title) const {
+  std::cout << render(title) << std::flush;
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string TablePrinter::pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace vizcache

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Console table with aligned columns, used by the bench harness to print
+/// paper-style result rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void row(std::vector<std::string> cells);
+
+  /// Render with a header rule, column padding, and a title line.
+  std::string render(const std::string& title = "") const;
+
+  /// Render and write to stdout.
+  void print(const std::string& title = "") const;
+
+  static std::string fmt(double v, int precision = 4);
+  static std::string pct(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vizcache

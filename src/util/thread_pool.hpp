@@ -1,0 +1,50 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Fixed-size worker pool used by the asynchronous prefetch engine and the
+/// CPU ray-caster. Tasks are plain std::function<void()>; submit() returns a
+/// future for completion tracking.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (>=1). Defaults to hardware concurrency.
+  explicit ThreadPool(usize threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future completed when the task finishes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+  usize thread_count() const { return workers_.size(); }
+
+  /// Number of tasks queued but not yet started.
+  usize pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  usize active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vizcache

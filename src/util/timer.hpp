@@ -1,0 +1,27 @@
+#pragma once
+
+#include <chrono>
+
+namespace vizcache {
+
+/// Wall-clock stopwatch. Used only for micro-benchmarks and example apps;
+/// all experiment results use simulated time (see util/types.hpp).
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vizcache

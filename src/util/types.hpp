@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// Common scalar aliases used throughout vizcache.
+namespace vizcache {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Identifier of a data block (brick) within a blocked volume.
+/// Block ids are dense: [0, BlockGrid::block_count()).
+using BlockId = u32;
+
+/// Sentinel for "no block".
+inline constexpr BlockId kInvalidBlock = static_cast<BlockId>(-1);
+
+/// Simulated time in seconds. All hierarchy/device costs are expressed in
+/// simulated seconds so results are machine-independent and deterministic.
+using SimSeconds = double;
+
+}  // namespace vizcache

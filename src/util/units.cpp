@@ -1,0 +1,64 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+std::string fmt1(double v, const char* suffix, int precision = 2) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v << ' ' << suffix;
+  return os.str();
+}
+}  // namespace
+
+std::string format_bytes(u64 bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kTiB) return fmt1(b / static_cast<double>(kTiB), "TiB");
+  if (bytes >= kGiB) return fmt1(b / static_cast<double>(kGiB), "GiB");
+  if (bytes >= kMiB) return fmt1(b / static_cast<double>(kMiB), "MiB");
+  if (bytes >= kKiB) return fmt1(b / static_cast<double>(kKiB), "KiB");
+  return std::to_string(bytes) + " B";
+}
+
+std::string format_seconds(double seconds) {
+  double a = std::abs(seconds);
+  if (a >= 1.0) return fmt1(seconds, "s", 3);
+  if (a >= 1e-3) return fmt1(seconds * 1e3, "ms", 3);
+  if (a >= 1e-6) return fmt1(seconds * 1e6, "us", 3);
+  return fmt1(seconds * 1e9, "ns", 3);
+}
+
+u64 parse_bytes(const std::string& text) {
+  VIZ_REQUIRE(!text.empty(), "empty byte string");
+  usize pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.'))
+    ++pos;
+  VIZ_REQUIRE(pos > 0, "byte string must start with a number: " + text);
+  double value = std::stod(text.substr(0, pos));
+  std::string suffix = text.substr(pos);
+  // Strip optional trailing "iB"/"B".
+  u64 mult = 1;
+  if (!suffix.empty()) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(suffix[0])));
+    switch (c) {
+      case 'k': mult = kKiB; break;
+      case 'm': mult = kMiB; break;
+      case 'g': mult = kGiB; break;
+      case 't': mult = kTiB; break;
+      case 'b': mult = 1; break;
+      default:
+        throw InvalidArgument("unknown byte suffix: " + suffix);
+    }
+  }
+  return static_cast<u64>(value * static_cast<double>(mult));
+}
+
+}  // namespace vizcache

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+inline constexpr u64 kKiB = 1024ULL;
+inline constexpr u64 kMiB = 1024ULL * kKiB;
+inline constexpr u64 kGiB = 1024ULL * kMiB;
+inline constexpr u64 kTiB = 1024ULL * kGiB;
+
+/// "4.00 GiB", "472.0 MiB", "17 B" — human-readable byte counts.
+std::string format_bytes(u64 bytes);
+
+/// "1.23 s", "45.6 ms", "789 us" — human-readable durations.
+std::string format_seconds(double seconds);
+
+/// Parse "64M", "2G", "512k", plain digits; throws InvalidArgument on junk.
+u64 parse_bytes(const std::string& text);
+
+}  // namespace vizcache

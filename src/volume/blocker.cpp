@@ -1,0 +1,34 @@
+#include "volume/blocker.hpp"
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+std::vector<float> extract_block(const Field3D& field, const BlockGrid& grid,
+                                 BlockId id) {
+  VIZ_REQUIRE(field.dims() == grid.volume_dims(), "field/grid dims mismatch");
+  Dims3 o = grid.block_voxel_origin(id);
+  Dims3 e = grid.block_voxel_extent(id);
+  std::vector<float> out;
+  out.reserve(e.voxels());
+  for (usize z = 0; z < e.z; ++z)
+    for (usize y = 0; y < e.y; ++y)
+      for (usize x = 0; x < e.x; ++x)
+        out.push_back(field.at(o.x + x, o.y + y, o.z + z));
+  return out;
+}
+
+void insert_block(Field3D& field, const BlockGrid& grid, BlockId id,
+                  const std::vector<float>& payload) {
+  VIZ_REQUIRE(field.dims() == grid.volume_dims(), "field/grid dims mismatch");
+  Dims3 o = grid.block_voxel_origin(id);
+  Dims3 e = grid.block_voxel_extent(id);
+  VIZ_REQUIRE(payload.size() == e.voxels(), "payload size mismatch");
+  usize i = 0;
+  for (usize z = 0; z < e.z; ++z)
+    for (usize y = 0; y < e.y; ++y)
+      for (usize x = 0; x < e.x; ++x)
+        field.at(o.x + x, o.y + y, o.z + z) = payload[i++];
+}
+
+}  // namespace vizcache

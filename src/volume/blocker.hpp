@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "volume/block_grid.hpp"
+#include "volume/field.hpp"
+
+namespace vizcache {
+
+/// Copy the voxels of block `id` out of a dense field (x-fastest within the
+/// block, edge blocks clipped).
+std::vector<float> extract_block(const Field3D& field, const BlockGrid& grid,
+                                 BlockId id);
+
+/// Inverse of extract_block: write a block payload back into a dense field.
+void insert_block(Field3D& field, const BlockGrid& grid, BlockId id,
+                  const std::vector<float>& payload);
+
+}  // namespace vizcache

@@ -1,0 +1,68 @@
+#include "volume/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+const char* dataset_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::kBall3d: return "3d_ball";
+    case DatasetId::kLiftedMixFrac: return "lifted_mix_frac";
+    case DatasetId::kLiftedRr: return "lifted_rr";
+    case DatasetId::kClimate: return "climate";
+  }
+  throw InvalidArgument("unknown dataset id");
+}
+
+Dims3 paper_dims(DatasetId id) {
+  switch (id) {
+    case DatasetId::kBall3d: return {1024, 1024, 1024};
+    case DatasetId::kLiftedMixFrac: return {800, 686, 215};
+    case DatasetId::kLiftedRr: return {800, 800, 400};
+    case DatasetId::kClimate: return {294, 258, 98};
+  }
+  throw InvalidArgument("unknown dataset id");
+}
+
+usize paper_variables(DatasetId id) {
+  // Table I: climate carries 244 variables (7.2 GB across timesteps); the
+  // scalar sets carry one.
+  return id == DatasetId::kClimate ? 244 : 1;
+}
+
+SyntheticVolume make_dataset(DatasetId id, double scale) {
+  VIZ_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  Dims3 full = paper_dims(id);
+  auto scaled = [&](usize v) {
+    return std::max<usize>(8, static_cast<usize>(
+                                  std::llround(static_cast<double>(v) * scale)));
+  };
+  Dims3 dims{scaled(full.x), scaled(full.y), scaled(full.z)};
+
+  switch (id) {
+    case DatasetId::kBall3d:
+      return make_ball_volume(dims);
+    case DatasetId::kLiftedMixFrac:
+      return make_flame_volume("lifted_mix_frac", dims, 11);
+    case DatasetId::kLiftedRr:
+      return make_flame_volume("lifted_rr", dims, 19);
+    case DatasetId::kClimate: {
+      usize vars = std::max<usize>(
+          4, static_cast<usize>(std::llround(244.0 * scale)));
+      usize steps = std::max<usize>(
+          1, static_cast<usize>(std::llround(8.0 * scale)));
+      return make_climate_volume(dims, vars, steps);
+    }
+  }
+  throw InvalidArgument("unknown dataset id");
+}
+
+std::vector<DatasetId> all_datasets() {
+  return {DatasetId::kBall3d, DatasetId::kLiftedMixFrac, DatasetId::kLiftedRr,
+          DatasetId::kClimate};
+}
+
+}  // namespace vizcache

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "volume/generators.hpp"
+
+namespace vizcache {
+
+/// Identifiers for the paper's Table I datasets.
+enum class DatasetId { kBall3d, kLiftedMixFrac, kLiftedRr, kClimate };
+
+const char* dataset_name(DatasetId id);
+
+/// Full-resolution extents from Table I.
+Dims3 paper_dims(DatasetId id);
+usize paper_variables(DatasetId id);
+
+/// Build a Table I dataset at `scale` times its paper resolution per axis
+/// (scale = 1.0 reproduces the paper's sizes; benches default to ~0.25 so
+/// the whole suite runs in minutes). Variable/timestep counts for climate
+/// are scaled by the same factor with a floor of 4/1.
+SyntheticVolume make_dataset(DatasetId id, double scale = 1.0);
+
+/// All four Table I datasets.
+std::vector<DatasetId> all_datasets();
+
+}  // namespace vizcache

@@ -1,0 +1,64 @@
+#include "volume/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+Field3D::Field3D(Dims3 dims, float fill) : dims_(dims) {
+  VIZ_REQUIRE(dims.voxels() > 0, "field with zero voxels");
+  data_.assign(dims.voxels(), fill);
+}
+
+float& Field3D::at(usize x, usize y, usize z) {
+  return data_[index(x, y, z)];
+}
+
+float Field3D::at(usize x, usize y, usize z) const {
+  return data_[index(x, y, z)];
+}
+
+float Field3D::sample(double fx, double fy, double fz) const {
+  auto clampf = [](double v, double hi) {
+    return std::clamp(v, 0.0, hi);
+  };
+  fx = clampf(fx, static_cast<double>(dims_.x - 1));
+  fy = clampf(fy, static_cast<double>(dims_.y - 1));
+  fz = clampf(fz, static_cast<double>(dims_.z - 1));
+  usize x0 = static_cast<usize>(fx), y0 = static_cast<usize>(fy),
+        z0 = static_cast<usize>(fz);
+  usize x1 = std::min(x0 + 1, dims_.x - 1);
+  usize y1 = std::min(y0 + 1, dims_.y - 1);
+  usize z1 = std::min(z0 + 1, dims_.z - 1);
+  double tx = fx - static_cast<double>(x0);
+  double ty = fy - static_cast<double>(y0);
+  double tz = fz - static_cast<double>(z0);
+
+  auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+  double c00 = lerp(at(x0, y0, z0), at(x1, y0, z0), tx);
+  double c10 = lerp(at(x0, y1, z0), at(x1, y1, z0), tx);
+  double c01 = lerp(at(x0, y0, z1), at(x1, y0, z1), tx);
+  double c11 = lerp(at(x0, y1, z1), at(x1, y1, z1), tx);
+  double c0 = lerp(c00, c10, ty);
+  double c1 = lerp(c01, c11, ty);
+  return static_cast<float>(lerp(c0, c1, tz));
+}
+
+float Field3D::sample_normalized(double nx, double ny, double nz) const {
+  double fx = (nx + 1.0) * 0.5 * static_cast<double>(dims_.x - 1);
+  double fy = (ny + 1.0) * 0.5 * static_cast<double>(dims_.y - 1);
+  double fz = (nz + 1.0) * 0.5 * static_cast<double>(dims_.z - 1);
+  return sample(fx, fy, fz);
+}
+
+float Field3D::min_value() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Field3D::max_value() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+}  // namespace vizcache

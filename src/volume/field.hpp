@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "volume/volume_desc.hpp"
+
+namespace vizcache {
+
+/// Dense scalar field: one variable at one timestep, x-fastest layout.
+class Field3D {
+ public:
+  Field3D() = default;
+  explicit Field3D(Dims3 dims, float fill = 0.0f);
+
+  const Dims3& dims() const { return dims_; }
+  usize voxels() const { return data_.size(); }
+
+  float& at(usize x, usize y, usize z);
+  float at(usize x, usize y, usize z) const;
+
+  usize index(usize x, usize y, usize z) const {
+    return (z * dims_.y + y) * dims_.x + x;
+  }
+
+  std::span<float> values() { return data_; }
+  std::span<const float> values() const { return data_; }
+
+  /// Trilinear sample at fractional voxel coordinates (clamped to edges).
+  float sample(double fx, double fy, double fz) const;
+
+  /// Trilinear sample at normalized coordinates in [-1, 1]^3.
+  float sample_normalized(double nx, double ny, double nz) const;
+
+  float min_value() const;
+  float max_value() const;
+
+ private:
+  Dims3 dims_;
+  std::vector<float> data_;
+};
+
+}  // namespace vizcache

@@ -1,0 +1,66 @@
+#include "volume/file_block_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace fs = std::filesystem;
+
+FileBlockStore::FileBlockStore(std::string root, const VolumeDesc& desc,
+                               Dims3 block_dims)
+    : root_(std::move(root)), desc_(desc), grid_(desc.dims, block_dims) {
+  if (!fs::exists(root_)) {
+    throw IoError("block store root does not exist: " + root_);
+  }
+}
+
+std::string FileBlockStore::block_path(BlockId id, usize var,
+                                       usize timestep) const {
+  return root_ + "/v" + std::to_string(var) + "_t" + std::to_string(timestep) +
+         "/block_" + std::to_string(id) + ".raw";
+}
+
+FileBlockStore FileBlockStore::write_store(const std::string& root,
+                                           const SyntheticVolume& volume,
+                                           Dims3 block_dims) {
+  SyntheticBlockStore source(volume, block_dims);
+  const BlockGrid& grid = source.grid();
+  for (usize t = 0; t < volume.desc.timesteps; ++t) {
+    for (usize v = 0; v < volume.desc.variables; ++v) {
+      fs::path dir = fs::path(root) / ("v" + std::to_string(v) + "_t" +
+                                       std::to_string(t));
+      fs::create_directories(dir);
+      for (BlockId id = 0; id < grid.block_count(); ++id) {
+        std::vector<float> payload = source.read_block(id, v, t);
+        fs::path p = dir / ("block_" + std::to_string(id) + ".raw");
+        std::ofstream out(p, std::ios::binary | std::ios::trunc);
+        if (!out) throw IoError("cannot write brick: " + p.string());
+        out.write(reinterpret_cast<const char*>(payload.data()),
+                  static_cast<std::streamsize>(payload.size() * sizeof(float)));
+        if (!out) throw IoError("short write on brick: " + p.string());
+      }
+    }
+  }
+  return FileBlockStore(root, volume.desc, block_dims);
+}
+
+std::vector<float> FileBlockStore::read_block(BlockId id, usize var,
+                                              usize timestep) const {
+  VIZ_REQUIRE(id < grid_.block_count(), "block id out of range");
+  std::string path = block_path(id, var, timestep);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open brick: " + path);
+  std::vector<float> payload(grid_.block_voxels(id));
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size() * sizeof(float)));
+  if (in.gcount() !=
+      static_cast<std::streamsize>(payload.size() * sizeof(float))) {
+    throw IoError("short read on brick: " + path);
+  }
+  return payload;
+}
+
+}  // namespace vizcache

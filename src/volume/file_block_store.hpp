@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "volume/block_store.hpp"
+
+namespace vizcache {
+
+/// Block store backed by raw brick files on disk: one file per
+/// (block, variable, timestep) under a root directory. This is the
+/// "real I/O" backend — the examples use it to demonstrate the policy
+/// against an actual filesystem, while benches use the simulator.
+///
+/// Layout: <root>/v<var>_t<step>/block_<id>.raw  (little-endian float32).
+class FileBlockStore final : public BlockStore {
+ public:
+  /// Open an existing store written by write_store().
+  FileBlockStore(std::string root, const VolumeDesc& desc, Dims3 block_dims);
+
+  /// Materialize `volume` into brick files under `root`; returns the opened
+  /// store. Existing files are overwritten.
+  static FileBlockStore write_store(const std::string& root,
+                                    const SyntheticVolume& volume,
+                                    Dims3 block_dims);
+
+  const BlockGrid& grid() const override { return grid_; }
+  const VolumeDesc& desc() const override { return desc_; }
+  std::vector<float> read_block(BlockId id, usize var,
+                                usize timestep) const override;
+
+  std::string block_path(BlockId id, usize var, usize timestep) const;
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string root_;
+  VolumeDesc desc_;
+  BlockGrid grid_;
+};
+
+}  // namespace vizcache

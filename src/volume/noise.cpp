@@ -1,0 +1,52 @@
+#include "volume/noise.hpp"
+
+#include <cmath>
+
+namespace vizcache {
+
+namespace {
+inline double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+inline double lerp(double a, double b, double t) { return a + (b - a) * t; }
+}  // namespace
+
+double ValueNoise::lattice(i64 x, i64 y, i64 z) const {
+  // Mix coordinates and seed through a SplitMix64-style finalizer.
+  u64 h = seed_;
+  h ^= static_cast<u64>(x) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<u64>(y) * 0xc2b2ae3d27d4eb4fULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= static_cast<u64>(z) * 0x165667b19e3779f9ULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double ValueNoise::noise(double x, double y, double z) const {
+  double fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  i64 ix = static_cast<i64>(fx), iy = static_cast<i64>(fy),
+      iz = static_cast<i64>(fz);
+  double tx = smoothstep(x - fx), ty = smoothstep(y - fy), tz = smoothstep(z - fz);
+
+  double c000 = lattice(ix, iy, iz), c100 = lattice(ix + 1, iy, iz);
+  double c010 = lattice(ix, iy + 1, iz), c110 = lattice(ix + 1, iy + 1, iz);
+  double c001 = lattice(ix, iy, iz + 1), c101 = lattice(ix + 1, iy, iz + 1);
+  double c011 = lattice(ix, iy + 1, iz + 1), c111 = lattice(ix + 1, iy + 1, iz + 1);
+
+  double c00 = lerp(c000, c100, tx), c10 = lerp(c010, c110, tx);
+  double c01 = lerp(c001, c101, tx), c11 = lerp(c011, c111, tx);
+  return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz);
+}
+
+double ValueNoise::fbm(double x, double y, double z, int octaves,
+                       double persistence) const {
+  double sum = 0.0, amp = 1.0, freq = 1.0, norm = 0.0;
+  for (int i = 0; i < octaves; ++i) {
+    sum += amp * noise(x * freq, y * freq, z * freq);
+    norm += amp;
+    amp *= persistence;
+    freq *= 2.0;
+  }
+  return norm > 0.0 ? sum / norm : 0.0;
+}
+
+}  // namespace vizcache

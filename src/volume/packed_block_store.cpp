@@ -1,0 +1,126 @@
+#include "volume/packed_block_store.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+constexpr char kMagic[4] = {'V', 'Z', 'P', 'K'};
+}
+
+PackedFileBlockStore PackedFileBlockStore::write_store(
+    const std::string& path, const SyntheticVolume& volume, Dims3 block_dims) {
+  SyntheticBlockStore source(volume, block_dims);
+  const BlockGrid& grid = source.grid();
+  const VolumeDesc& desc = volume.desc;
+  const usize entries =
+      grid.block_count() * desc.variables * desc.timesteps;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot create packed store: " + path);
+
+  out.write(kMagic, 4);
+  u64 header[8] = {desc.dims.x, desc.dims.y,     desc.dims.z, desc.variables,
+                   desc.timesteps, block_dims.x, block_dims.y, block_dims.z};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  u64 entry_count = entries;
+  out.write(reinterpret_cast<const char*>(&entry_count), sizeof(entry_count));
+
+  // Offsets are relative to the start of the payload section.
+  std::vector<u64> offsets(entries + 1, 0);
+  usize i = 0;
+  for (usize t = 0; t < desc.timesteps; ++t) {
+    for (usize v = 0; v < desc.variables; ++v) {
+      for (BlockId id = 0; id < grid.block_count(); ++id) {
+        offsets[i + 1] = offsets[i] + grid.block_bytes(id);
+        ++i;
+      }
+    }
+  }
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(u64)));
+
+  for (usize t = 0; t < desc.timesteps; ++t) {
+    for (usize v = 0; v < desc.variables; ++v) {
+      for (BlockId id = 0; id < grid.block_count(); ++id) {
+        std::vector<float> payload = source.read_block(id, v, t);
+        out.write(reinterpret_cast<const char*>(payload.data()),
+                  static_cast<std::streamsize>(payload.size() * sizeof(float)));
+      }
+    }
+  }
+  if (!out) throw IoError("packed store write failed: " + path);
+  out.close();
+  return PackedFileBlockStore(path);
+}
+
+PackedFileBlockStore::PackedFileBlockStore(const std::string& path)
+    : path_(path) {
+  file_.open(path, std::ios::binary);
+  if (!file_) throw IoError("cannot open packed store: " + path);
+
+  char magic[4];
+  file_.read(magic, 4);
+  if (!file_ || std::memcmp(magic, kMagic, 4) != 0) {
+    throw IoError("not a vizcache packed store: " + path);
+  }
+  u64 header[8];
+  file_.read(reinterpret_cast<char*>(header), sizeof(header));
+  u64 entry_count = 0;
+  file_.read(reinterpret_cast<char*>(&entry_count), sizeof(entry_count));
+  if (!file_) throw IoError("truncated packed store header: " + path);
+
+  desc_.name = std::filesystem::path(path).stem().string();
+  desc_.description = "packed block store";
+  desc_.dims = {header[0], header[1], header[2]};
+  desc_.variables = header[3];
+  desc_.timesteps = header[4];
+  Dims3 block_dims{header[5], header[6], header[7]};
+  grid_ = BlockGrid(desc_.dims, block_dims);
+
+  const usize expected =
+      grid_.block_count() * desc_.variables * desc_.timesteps;
+  if (entry_count != expected) {
+    throw IoError("packed store entry count mismatch: " + path);
+  }
+  offsets_.resize(entry_count + 1);
+  file_.read(reinterpret_cast<char*>(offsets_.data()),
+             static_cast<std::streamsize>(offsets_.size() * sizeof(u64)));
+  if (!file_) throw IoError("truncated packed store index: " + path);
+  payload_start_ = static_cast<u64>(file_.tellg());
+}
+
+usize PackedFileBlockStore::entry_index(BlockId id, usize var,
+                                        usize timestep) const {
+  VIZ_REQUIRE(id < grid_.block_count(), "block id out of range");
+  VIZ_REQUIRE(var < desc_.variables, "variable out of range");
+  VIZ_REQUIRE(timestep < desc_.timesteps, "timestep out of range");
+  return (timestep * desc_.variables + var) * grid_.block_count() + id;
+}
+
+std::vector<float> PackedFileBlockStore::read_block(BlockId id, usize var,
+                                                    usize timestep) const {
+  const usize entry = entry_index(id, var, timestep);
+  const u64 begin = offsets_[entry];
+  const u64 bytes = offsets_[entry + 1] - begin;
+  std::vector<float> payload(bytes / sizeof(float));
+
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(payload_start_ + begin));
+  file_.read(reinterpret_cast<char*>(payload.data()),
+             static_cast<std::streamsize>(bytes));
+  if (file_.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw IoError("short read in packed store: " + path_);
+  }
+  return payload;
+}
+
+u64 PackedFileBlockStore::file_bytes() const {
+  return static_cast<u64>(std::filesystem::file_size(path_));
+}
+
+}  // namespace vizcache

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "volume/block_store.hpp"
+
+namespace vizcache {
+
+/// Block store backed by a single packed file: a fixed header, an offset
+/// index, then all brick payloads back to back. Closer to production
+/// storage than one-file-per-brick (constant open cost, sequential layout,
+/// one seek per brick read) — the layout Pascucci & Frank-style global
+/// indexing assumes (paper Section II).
+///
+/// File layout (little-endian):
+///   magic "VZPK" | u64 dims[3] | u64 variables | u64 timesteps |
+///   u64 block_dims[3] | u64 entry_count | u64 offsets[entry_count+1] |
+///   payload bytes...
+/// Entry order: (timestep, variable, block) row-major.
+class PackedFileBlockStore final : public BlockStore {
+ public:
+  /// Open an existing packed store.
+  explicit PackedFileBlockStore(const std::string& path);
+
+  /// Write `volume` into a packed file at `path`; returns the opened store.
+  static PackedFileBlockStore write_store(const std::string& path,
+                                          const SyntheticVolume& volume,
+                                          Dims3 block_dims);
+
+  const BlockGrid& grid() const override { return grid_; }
+  const VolumeDesc& desc() const override { return desc_; }
+  std::vector<float> read_block(BlockId id, usize var,
+                                usize timestep) const override;
+
+  const std::string& path() const { return path_; }
+  u64 file_bytes() const;
+
+ private:
+  usize entry_index(BlockId id, usize var, usize timestep) const;
+
+  std::string path_;
+  VolumeDesc desc_;
+  BlockGrid grid_;
+  std::vector<u64> offsets_;
+  u64 payload_start_ = 0;        ///< file offset of the first payload byte
+  mutable std::ifstream file_;
+  mutable std::mutex io_mutex_;  ///< one seek+read at a time
+};
+
+}  // namespace vizcache

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/frustum.hpp"
+#include "volume/block_grid.hpp"
+#include "volume/block_metadata.hpp"
+
+namespace vizcache {
+
+/// Temporal Branch-On-Need Octree (T-BON, Sutton & Hansen — paper Section
+/// II): one octree *topology* shared by every timestep of a time-varying
+/// dataset, with per-timestep min/max value payloads. The structure is
+/// built once; switching timesteps swaps only the value arrays, which is
+/// the T-BON insight — the tree shape never changes, so time-varying
+/// iso-surface/range extraction reuses the spatial index across all steps.
+class TemporalOctree {
+ public:
+  /// Build the topology over `grid` and fill per-timestep min/max of
+  /// variable `var` from `store` (timesteps read: store.desc().timesteps).
+  static TemporalOctree build(const BlockGrid& grid, const BlockStore& store,
+                              usize var = 0);
+
+  usize node_count() const { return nodes_.size(); }
+  usize leaf_count() const { return leaves_; }
+  usize timestep_count() const { return values_.size(); }
+
+  /// Blocks whose value interval at `timestep` intersects [lo, hi].
+  std::vector<BlockId> query_range(usize timestep, float lo, float hi) const;
+
+  /// Range query restricted to the view cone.
+  std::vector<BlockId> query_frustum_range(usize timestep,
+                                           const ConeFrustum& frustum,
+                                           float lo, float hi) const;
+
+  /// Bytes of one timestep's value payload (what T-BON loads on demand per
+  /// step) vs the shared topology bytes (loaded once).
+  u64 value_bytes_per_timestep() const;
+  u64 topology_bytes() const;
+
+ private:
+  struct Node {
+    AABB bounds;
+    Vec3 sphere_center;
+    double sphere_radius = 0.0;
+    i64 children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    BlockId block = kInvalidBlock;
+    bool leaf = false;
+  };
+  struct MinMax {
+    float min = 0.0f;
+    float max = 0.0f;
+  };
+
+  i64 build_node(const BlockGrid& grid, usize x0, usize y0, usize z0,
+                 usize x1, usize y1, usize z1);
+
+  void fill_values(const BlockMetadataTable& metadata, usize var,
+                   std::vector<MinMax>& out) const;
+
+  template <typename NodeFilter>
+  void traverse(i64 node, const std::vector<MinMax>& values, float lo,
+                float hi, const NodeFilter& extra,
+                std::vector<BlockId>& out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<MinMax>> values_;  ///< [timestep][node]
+  usize leaves_ = 0;
+};
+
+}  // namespace vizcache

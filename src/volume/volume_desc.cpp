@@ -1,0 +1,25 @@
+#include "volume/volume_desc.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vizcache {
+
+usize Dims3::max_axis() const { return std::max({x, y, z}); }
+
+std::string Dims3::to_string() const {
+  std::ostringstream os;
+  os << x << "x" << y << "x" << z;
+  return os.str();
+}
+
+u64 VolumeDesc::total_bytes() const {
+  return static_cast<u64>(dims.voxels()) * variables * timesteps *
+         bytes_per_value;
+}
+
+u64 VolumeDesc::field_bytes() const {
+  return static_cast<u64>(dims.voxels()) * bytes_per_value;
+}
+
+}  // namespace vizcache

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Integer 3D extents (voxels).
+struct Dims3 {
+  usize x = 0;
+  usize y = 0;
+  usize z = 0;
+
+  constexpr bool operator==(const Dims3&) const = default;
+
+  usize voxels() const { return x * y * z; }
+  usize max_axis() const;
+  std::string to_string() const;
+};
+
+/// Metadata of a (possibly multivariate, time-varying) volume dataset —
+/// the rows of the paper's Table I.
+struct VolumeDesc {
+  std::string name;
+  std::string description;
+  Dims3 dims;
+  usize variables = 1;
+  usize timesteps = 1;
+  usize bytes_per_value = 4;  ///< all paper datasets are float32
+
+  /// Total dataset size in bytes across all variables and timesteps.
+  u64 total_bytes() const;
+  /// Size of one scalar field (one variable, one timestep).
+  u64 field_bytes() const;
+};
+
+}  // namespace vizcache

@@ -1,0 +1,102 @@
+#include "core/async_prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "volume/generators.hpp"
+
+namespace vizcache {
+namespace {
+
+SyntheticBlockStore make_store() {
+  return SyntheticBlockStore(make_ball_volume({24, 24, 24}), {8, 8, 8});
+}
+
+TEST(AsyncPrefetcher, PrefetchedBlocksBecomeReady) {
+  SyntheticBlockStore store = make_store();
+  AsyncPrefetcher pf(store, 2);
+  std::vector<BlockId> ids{0, 1, 2, 3};
+  pf.request(ids);
+  pf.drain();
+  for (BlockId id : ids) {
+    auto payload = pf.get_if_ready(id);
+    ASSERT_NE(payload, nullptr);
+    EXPECT_EQ(payload->size(), store.grid().block_voxels(id));
+  }
+  EXPECT_EQ(pf.stats().prefetched, 4u);
+}
+
+TEST(AsyncPrefetcher, PayloadsMatchStore) {
+  SyntheticBlockStore store = make_store();
+  AsyncPrefetcher pf(store, 2);
+  std::vector<BlockId> ids{5};
+  pf.request(ids);
+  pf.drain();
+  auto payload = pf.get_if_ready(5);
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(*payload, store.read_block(5, 0, 0));
+}
+
+TEST(AsyncPrefetcher, GetBlockingLoadsOnMiss) {
+  SyntheticBlockStore store = make_store();
+  AsyncPrefetcher pf(store, 1);
+  auto payload = pf.get_blocking(7);
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(pf.stats().demand_misses, 1u);
+  EXPECT_EQ(pf.stats().demand_hits, 0u);
+  // Second access hits the cache.
+  auto again = pf.get_blocking(7);
+  EXPECT_EQ(again, payload);
+  EXPECT_EQ(pf.stats().demand_hits, 1u);
+}
+
+TEST(AsyncPrefetcher, PrefetchThenBlockingIsHit) {
+  SyntheticBlockStore store = make_store();
+  AsyncPrefetcher pf(store, 2);
+  std::vector<BlockId> ids{3};
+  pf.request(ids);
+  pf.drain();
+  pf.get_blocking(3);
+  EXPECT_EQ(pf.stats().demand_hits, 1u);
+  EXPECT_EQ(pf.stats().demand_misses, 0u);
+}
+
+TEST(AsyncPrefetcher, DuplicateRequestsCoalesce) {
+  SyntheticBlockStore store = make_store();
+  AsyncPrefetcher pf(store, 2);
+  std::vector<BlockId> ids{1, 1, 1};
+  pf.request(ids);
+  pf.request(ids);
+  pf.drain();
+  EXPECT_EQ(pf.stats().prefetched, 1u);
+  EXPECT_EQ(pf.cached_blocks(), 1u);
+}
+
+TEST(AsyncPrefetcher, EvictExceptKeepsOnlyListed) {
+  SyntheticBlockStore store = make_store();
+  AsyncPrefetcher pf(store, 2);
+  std::vector<BlockId> ids{0, 1, 2, 3, 4};
+  pf.request(ids);
+  pf.drain();
+  pf.evict_except({1, 3});
+  EXPECT_EQ(pf.cached_blocks(), 2u);
+  EXPECT_NE(pf.get_if_ready(1), nullptr);
+  EXPECT_EQ(pf.get_if_ready(0), nullptr);
+}
+
+TEST(AsyncPrefetcher, GetIfReadyNeverBlocks) {
+  SyntheticBlockStore store = make_store();
+  AsyncPrefetcher pf(store, 1);
+  EXPECT_EQ(pf.get_if_ready(11), nullptr);
+}
+
+TEST(AsyncPrefetcher, SharedPayloadSurvivesEviction) {
+  SyntheticBlockStore store = make_store();
+  AsyncPrefetcher pf(store, 1);
+  auto payload = pf.get_blocking(2);
+  pf.evict_except({});
+  // The shared_ptr keeps the data alive for in-flight renders.
+  EXPECT_EQ(payload->size(), store.grid().block_voxels(2));
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,121 @@
+#include "core/lod_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "volume/generators.hpp"
+
+namespace vizcache {
+namespace {
+
+class LodTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Field3D f = rasterize(make_ball_volume({64, 64, 64}));
+    pyramid_ = new MipPyramid(MipPyramid::build(std::move(f), {8, 8, 8}, 4));
+  }
+  static void TearDownTestSuite() {
+    delete pyramid_;
+    pyramid_ = nullptr;
+  }
+
+  static CameraPath path(usize n = 40) {
+    RandomPathSpec rp;
+    rp.step_min_deg = 4.0;
+    rp.step_max_deg = 6.0;
+    rp.positions = n;
+    return make_random_path(rp);
+  }
+
+  static MipPyramid* pyramid_;
+};
+
+MipPyramid* LodTest::pyramid_ = nullptr;
+
+TEST(LodSelector, DistanceBands) {
+  LodSelector sel{2.0, 3};
+  EXPECT_EQ(sel.level_for(0.5), 0u);
+  EXPECT_EQ(sel.level_for(2.0), 0u);
+  EXPECT_EQ(sel.level_for(3.9), 0u);   // < 2*base
+  EXPECT_EQ(sel.level_for(4.1), 1u);
+  EXPECT_EQ(sel.level_for(8.1), 2u);
+  EXPECT_EQ(sel.level_for(1000.0), 3u);  // clamped
+}
+
+TEST(LodSelector, InvalidBaseThrows) {
+  LodSelector sel{0.0, 2};
+  EXPECT_THROW(sel.level_for(1.0), InvalidArgument);
+}
+
+TEST_F(LodTest, CoarseSelectorCutsBytesAndFidelity) {
+  CameraPath p = path();
+  // Everything at full resolution.
+  LodPipeline full(*pyramid_, {100.0, 0}, PolicyKind::kLru, 0.5);
+  LodRunResult rf = full.run(p);
+  EXPECT_DOUBLE_EQ(rf.mean_fidelity, 1.0);
+
+  // Aggressive LOD: cameras at d=3 land in level 1+.
+  LodPipeline coarse(*pyramid_, {1.0, 3}, PolicyKind::kLru, 0.5);
+  LodRunResult rc = coarse.run(p);
+  EXPECT_LT(rc.mean_fidelity, 0.5);
+  EXPECT_LT(rc.bytes_fetched, rf.bytes_fetched);
+  EXPECT_LT(rc.io_time, rf.io_time);
+}
+
+TEST_F(LodTest, FidelityWithinBounds) {
+  LodPipeline p(*pyramid_, {2.0, 3}, PolicyKind::kLru, 0.5);
+  LodRunResult r = p.run(path());
+  EXPECT_GT(r.mean_fidelity, 0.0);
+  EXPECT_LE(r.mean_fidelity, 1.0);
+  EXPECT_GE(r.fast_miss_rate, 0.0);
+  EXPECT_LE(r.fast_miss_rate, 1.0);
+}
+
+TEST_F(LodTest, StepAccountingConsistent) {
+  LodPipeline p(*pyramid_, {2.0, 2}, PolicyKind::kLru, 0.5);
+  LodRunResult r = p.run(path());
+  SimSeconds io = 0.0, total = 0.0;
+  for (const StepResult& s : r.steps) {
+    EXPECT_GT(s.visible_blocks, 0u);
+    EXPECT_DOUBLE_EQ(s.total_time, s.io_time + s.render_time);
+    io += s.io_time;
+    total += s.total_time;
+  }
+  EXPECT_NEAR(r.io_time, io, 1e-9);
+  EXPECT_NEAR(r.total_time, total, 1e-9);
+}
+
+TEST_F(LodTest, DeterministicRuns) {
+  CameraPath p = path(25);
+  LodPipeline a(*pyramid_, {2.0, 3}, PolicyKind::kLru, 0.5);
+  LodPipeline b(*pyramid_, {2.0, 3}, PolicyKind::kLru, 0.5);
+  LodRunResult ra = a.run(p);
+  LodRunResult rb = b.run(p);
+  EXPECT_DOUBLE_EQ(ra.total_time, rb.total_time);
+  EXPECT_EQ(ra.bytes_fetched, rb.bytes_fetched);
+  EXPECT_DOUBLE_EQ(ra.mean_fidelity, rb.mean_fidelity);
+}
+
+TEST_F(LodTest, SelectorBeyondPyramidThrows) {
+  EXPECT_THROW(LodPipeline(*pyramid_, {2.0, 10}, PolicyKind::kLru, 0.5),
+               InvalidArgument);
+}
+
+TEST_F(LodTest, ZoomInRaisesFidelity) {
+  // A close-up path stays at level 0; a far path drops levels.
+  SphericalPathSpec close_spec;
+  close_spec.distance = 2.0;
+  close_spec.positions = 20;
+  SphericalPathSpec far_spec;
+  far_spec.distance = 5.0;
+  far_spec.positions = 20;
+  LodSelector sel{2.0, 3};
+  LodPipeline near_pipe(*pyramid_, sel, PolicyKind::kLru, 0.5);
+  LodPipeline far_pipe(*pyramid_, sel, PolicyKind::kLru, 0.5);
+  LodRunResult near_r = near_pipe.run(make_spherical_path(close_spec));
+  LodRunResult far_r = far_pipe.run(make_spherical_path(far_spec));
+  EXPECT_GT(near_r.mean_fidelity, far_r.mean_fidelity);
+}
+
+}  // namespace
+}  // namespace vizcache

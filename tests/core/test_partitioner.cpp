@@ -1,0 +1,133 @@
+#include "core/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "volume/generators.hpp"
+
+namespace vizcache {
+namespace {
+
+BlockGrid test_grid() { return BlockGrid({32, 32, 32}, {8, 8, 8}); }
+
+ImportanceTable flame_importance(const BlockGrid& grid) {
+  SyntheticBlockStore store(make_flame_volume("f", {32, 32, 32}),
+                            grid.block_dims());
+  return ImportanceTable::build(store, 64);
+}
+
+/// Every strategy must assign every block to a valid worker.
+class PartitionContractTest
+    : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(PartitionContractTest, CompleteAndValid) {
+  BlockGrid grid = test_grid();
+  ImportanceTable imp = flame_importance(grid);
+  for (usize workers : {1u, 2u, 3u, 7u, 16u}) {
+    Partition p = make_partition(GetParam(), grid, imp, workers);
+    EXPECT_EQ(p.block_count(), grid.block_count());
+    EXPECT_EQ(p.worker_count(), workers);
+    usize assigned = 0;
+    for (u32 w = 0; w < workers; ++w) assigned += p.blocks_of(w).size();
+    EXPECT_EQ(assigned, grid.block_count());
+  }
+}
+
+TEST_P(PartitionContractTest, BlockCountsRoughlyEven) {
+  BlockGrid grid = test_grid();
+  ImportanceTable imp = flame_importance(grid);
+  Partition p = make_partition(GetParam(), grid, imp, 4);
+  for (u32 w = 0; w < 4; ++w) {
+    usize n = p.blocks_of(w).size();
+    EXPECT_GE(n, grid.block_count() / 8) << "worker " << w;
+    EXPECT_LE(n, grid.block_count() / 2) << "worker " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PartitionContractTest,
+                         ::testing::Values(PartitionStrategy::kRoundRobin,
+                                           PartitionStrategy::kSpatialSlabs,
+                                           PartitionStrategy::kImportance),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case PartitionStrategy::kRoundRobin:
+                               return "RoundRobin";
+                             case PartitionStrategy::kSpatialSlabs:
+                               return "SpatialSlabs";
+                             default:
+                               return "Importance";
+                           }
+                         });
+
+TEST(Partition, RoundRobinDealsInOrder) {
+  Partition p = partition_round_robin(test_grid(), 4);
+  for (BlockId id = 0; id < 16; ++id) {
+    EXPECT_EQ(p.owner(id), id % 4);
+  }
+}
+
+TEST(Partition, SlabsAreSpatiallyContiguous) {
+  BlockGrid grid = test_grid();  // 4x4x4 blocks
+  Partition p = partition_spatial_slabs(grid, 4);
+  // Blocks in the same slab index along the chosen axis share a worker.
+  for (BlockId a = 0; a < grid.block_count(); ++a) {
+    for (BlockId b = 0; b < grid.block_count(); ++b) {
+      if (grid.coord_of(a).bx == grid.coord_of(b).bx) {
+        EXPECT_EQ(p.owner(a), p.owner(b));
+      }
+    }
+  }
+}
+
+TEST(Partition, ImportanceBalancesEntropyBetterThanSlabs) {
+  BlockGrid grid = test_grid();
+  ImportanceTable imp = flame_importance(grid);
+  std::vector<double> weight(grid.block_count());
+  for (BlockId id = 0; id < grid.block_count(); ++id) {
+    weight[id] = imp.entropy(id);
+  }
+  Partition slabs = partition_spatial_slabs(grid, 4);
+  Partition balanced = partition_importance_balanced(grid, imp, 4);
+  double slab_imb = Partition::imbalance(slabs.worker_loads(weight));
+  double bal_imb = Partition::imbalance(balanced.worker_loads(weight));
+  // The flame concentrates entropy in a central column, so slabs along an
+  // axis are badly skewed while LPT balance is near-perfect.
+  EXPECT_LT(bal_imb, slab_imb);
+  EXPECT_LT(bal_imb, 1.1);
+}
+
+TEST(Partition, ImbalanceMetric) {
+  EXPECT_DOUBLE_EQ(Partition::imbalance({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Partition::imbalance({2.0, 1.0, 0.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Partition::imbalance({}), 1.0);
+  EXPECT_DOUBLE_EQ(Partition::imbalance({0.0, 0.0}), 1.0);
+}
+
+TEST(Partition, SingleWorkerOwnsEverything) {
+  BlockGrid grid = test_grid();
+  ImportanceTable imp = flame_importance(grid);
+  for (PartitionStrategy s :
+       {PartitionStrategy::kRoundRobin, PartitionStrategy::kSpatialSlabs,
+        PartitionStrategy::kImportance}) {
+    Partition p = make_partition(s, grid, imp, 1);
+    EXPECT_EQ(p.blocks_of(0).size(), grid.block_count());
+  }
+}
+
+TEST(Partition, InvalidInputsThrow) {
+  BlockGrid grid = test_grid();
+  ImportanceTable imp = flame_importance(grid);
+  EXPECT_THROW(partition_round_robin(grid, 0), InvalidArgument);
+  EXPECT_THROW(Partition({0, 5}, 2), InvalidArgument);
+  Partition p = partition_round_robin(grid, 2);
+  EXPECT_THROW(p.owner(static_cast<BlockId>(grid.block_count())),
+               InvalidArgument);
+  EXPECT_THROW(p.blocks_of(2), InvalidArgument);
+  std::vector<double> wrong(3, 1.0);
+  EXPECT_THROW(p.worker_loads(wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

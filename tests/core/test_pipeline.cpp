@@ -1,0 +1,172 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/workbench.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+/// Small shared workbench so the suite stays fast; individual tests run
+/// fresh pipelines (cold caches) against it.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchSpec spec;
+    spec.dataset = DatasetId::kBall3d;
+    spec.scale = 0.08;  // ~82^3
+    spec.target_blocks = 256;
+    spec.omega = {8, 16, 3, 2.5, 3.5};
+    bench_ = new Workbench(spec);
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+
+  static CameraPath path(usize n = 60, double deg = 5.0) {
+    RandomPathSpec rp;
+    rp.step_min_deg = deg - 1.0;
+    rp.step_max_deg = deg + 1.0;
+    rp.positions = n;
+    return make_random_path(rp);
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* PipelineTest::bench_ = nullptr;
+
+TEST_F(PipelineTest, StepResultsConsistent) {
+  RunResult r = bench_->run_baseline(PolicyKind::kLru, path());
+  ASSERT_EQ(r.steps.size(), 60u);
+  SimSeconds io = 0, render = 0, total = 0;
+  for (const StepResult& s : r.steps) {
+    EXPECT_GT(s.visible_blocks, 0u);
+    EXPECT_LE(s.fast_misses, s.visible_blocks);
+    EXPECT_GE(s.io_time, 0.0);
+    EXPECT_GT(s.render_time, 0.0);
+    EXPECT_DOUBLE_EQ(s.total_time, s.io_time + s.render_time);
+    io += s.io_time;
+    render += s.render_time;
+    total += s.total_time;
+  }
+  EXPECT_NEAR(r.io_time, io, 1e-9);
+  EXPECT_NEAR(r.render_time, render, 1e-9);
+  EXPECT_NEAR(r.total_time, total, 1e-9);
+}
+
+TEST_F(PipelineTest, BaselineHasNoPrefetchOrLookup) {
+  RunResult r = bench_->run_baseline(PolicyKind::kFifo, path());
+  EXPECT_DOUBLE_EQ(r.prefetch_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.lookup_time, 0.0);
+  EXPECT_EQ(r.hierarchy.prefetch_requests, 0u);
+}
+
+TEST_F(PipelineTest, AppAwarePrefetchesAndOverlaps) {
+  RunResult r = bench_->run_app_aware(path());
+  EXPECT_GT(r.prefetch_time, 0.0);
+  EXPECT_GT(r.lookup_time, 0.0);
+  EXPECT_GT(r.hierarchy.prefetch_requests, 0u);
+  for (const StepResult& s : r.steps) {
+    EXPECT_DOUBLE_EQ(
+        s.total_time,
+        s.io_time + std::max(s.render_time, s.lookup_time + s.prefetch_time));
+  }
+}
+
+TEST_F(PipelineTest, TraceMatchesVisibleSets) {
+  RunResult r = bench_->run_baseline(PolicyKind::kLru, path());
+  usize expected = 0;
+  for (const StepResult& s : r.steps) expected += s.visible_blocks;
+  EXPECT_EQ(r.trace.size(), expected);
+  // Steps are 1-based and non-decreasing.
+  EXPECT_EQ(r.trace.accesses().front().step, 1u);
+  for (usize i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GE(r.trace.accesses()[i].step, r.trace.accesses()[i - 1].step);
+  }
+}
+
+TEST_F(PipelineTest, FirstStepAllMisses) {
+  // Baselines start cold: every block of step 1 is a fast miss.
+  RunResult r = bench_->run_baseline(PolicyKind::kLru, path());
+  EXPECT_EQ(r.steps[0].fast_misses, r.steps[0].visible_blocks);
+}
+
+TEST_F(PipelineTest, PreloadingCutsFirstStepMisses) {
+  // The app-aware run preloads important blocks; the ball's visible set
+  // always contains important (interior) blocks, so step 1 must hit some.
+  RunResult r = bench_->run_app_aware(path());
+  EXPECT_LT(r.steps[0].fast_misses, r.steps[0].visible_blocks);
+}
+
+TEST_F(PipelineTest, MissRatesWithinBounds) {
+  for (PolicyKind kind : {PolicyKind::kFifo, PolicyKind::kLru}) {
+    RunResult r = bench_->run_baseline(kind, path());
+    EXPECT_GE(r.fast_miss_rate, 0.0);
+    EXPECT_LE(r.fast_miss_rate, 1.0);
+    EXPECT_GE(r.total_miss_rate, 0.0);
+    EXPECT_LE(r.total_miss_rate, 1.0);
+  }
+}
+
+TEST_F(PipelineTest, DeterministicRuns) {
+  CameraPath p = path();
+  RunResult a = bench_->run_app_aware(p);
+  RunResult b = bench_->run_app_aware(p);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.fast_miss_rate, b.fast_miss_rate);
+  EXPECT_EQ(a.trace.id_sequence(), b.trace.id_sequence());
+}
+
+TEST_F(PipelineTest, SameDemandTraceAcrossPolicies) {
+  // Demand accesses are the exact visible sets — identical for every mode.
+  CameraPath p = path();
+  RunResult fifo = bench_->run_baseline(PolicyKind::kFifo, p);
+  RunResult lru = bench_->run_baseline(PolicyKind::kLru, p);
+  RunResult opt = bench_->run_app_aware(p);
+  EXPECT_EQ(fifo.trace.id_sequence(), lru.trace.id_sequence());
+  EXPECT_EQ(fifo.trace.id_sequence(), opt.trace.id_sequence());
+}
+
+TEST_F(PipelineTest, EmptyPathThrows) {
+  EXPECT_THROW(bench_->run_baseline(PolicyKind::kLru, {}), InvalidArgument);
+}
+
+TEST_F(PipelineTest, AppAwareRequiresTables) {
+  PipelineConfig cfg;
+  cfg.app_aware = true;
+  MemoryHierarchy h = MemoryHierarchy::paper_testbed(
+      1000, 0.5, PolicyKind::kLru, [](BlockId) -> u64 { return 10; });
+  EXPECT_THROW(VizPipeline(bench_->grid(), std::move(h), cfg), InvalidArgument);
+}
+
+TEST_F(PipelineTest, BeladyIsLowerBoundAmongDemandPolicies) {
+  CameraPath p = path(60, 10.0);
+  RunResult belady = bench_->run_belady(p);
+  for (PolicyKind kind : {PolicyKind::kFifo, PolicyKind::kLru,
+                          PolicyKind::kMru, PolicyKind::kClock}) {
+    RunResult r = bench_->run_baseline(kind, p);
+    EXPECT_LE(belady.fast_miss_rate, r.fast_miss_rate + 1e-9)
+        << policy_kind_name(kind);
+  }
+}
+
+TEST_F(PipelineTest, PrefetchBudgetRespectsFastCapacity) {
+  RunResult r = bench_->run_app_aware(path());
+  const u64 capacity = 0;  // recomputed below per-step via spec
+  (void)capacity;
+  // No step may prefetch more bytes than DRAM minus its visible set.
+  double dram_fraction =
+      bench_->spec().cache_ratio * bench_->spec().cache_ratio;
+  auto dram_blocks = static_cast<usize>(
+      dram_fraction * static_cast<double>(bench_->grid().block_count()));
+  for (const StepResult& s : r.steps) {
+    EXPECT_LE(s.prefetched + s.visible_blocks, dram_blocks + s.visible_blocks);
+    EXPECT_LE(s.prefetched, dram_blocks);
+  }
+}
+
+}  // namespace
+}  // namespace vizcache

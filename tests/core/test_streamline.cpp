@@ -1,0 +1,163 @@
+#include "core/streamline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "volume/generators.hpp"
+
+namespace vizcache {
+namespace {
+
+VectorSampler uniform_flow(const Vec3& v) {
+  return [v](const Vec3&) -> std::optional<Vec3> { return v; };
+}
+
+/// Rigid rotation around the z axis (angular velocity 1).
+VectorSampler vortex_flow() {
+  return [](const Vec3& p) -> std::optional<Vec3> {
+    return Vec3{-p.y, p.x, 0.0};
+  };
+}
+
+TEST(Streamline, UniformFlowIsStraight) {
+  StreamlineSpec spec;
+  spec.step = 0.05;
+  Streamline line =
+      trace_streamline({-0.9, 0.0, 0.0}, uniform_flow({1, 0, 0}), spec);
+  EXPECT_TRUE(line.left_volume);
+  EXPECT_FALSE(line.stagnated);
+  // Every point stays on the x axis and x increases monotonically.
+  for (usize i = 1; i < line.points.size(); ++i) {
+    EXPECT_NEAR(line.points[i].y, 0.0, 1e-12);
+    EXPECT_NEAR(line.points[i].z, 0.0, 1e-12);
+    EXPECT_GT(line.points[i].x, line.points[i - 1].x);
+  }
+  // It must actually cross most of the volume: ~1.9 / 0.05 steps.
+  EXPECT_GT(line.points.size(), 30u);
+}
+
+TEST(Streamline, Rk4PreservesVortexRadius) {
+  StreamlineSpec spec;
+  spec.step = 0.02;
+  spec.max_steps = 400;
+  Vec3 seed{0.5, 0.0, 0.0};
+  Streamline line = trace_streamline(seed, vortex_flow(), spec);
+  EXPECT_FALSE(line.left_volume);
+  // RK4 on a circular field keeps the radius to high accuracy.
+  for (const Vec3& p : line.points) {
+    EXPECT_NEAR(std::hypot(p.x, p.y), 0.5, 1e-4);
+  }
+  // 400 steps of 0.02 rad = 8 rad: more than one full revolution.
+  EXPECT_EQ(line.points.size(), 401u);
+}
+
+TEST(Streamline, StagnantFlowStops) {
+  StreamlineSpec spec;
+  Streamline line =
+      trace_streamline({0.1, 0.1, 0.1}, uniform_flow({0, 0, 0}), spec);
+  EXPECT_TRUE(line.stagnated);
+  EXPECT_EQ(line.points.size(), 1u);
+}
+
+TEST(Streamline, SeedOutsideVolume) {
+  StreamlineSpec spec;
+  Streamline line =
+      trace_streamline({2.0, 0.0, 0.0}, uniform_flow({1, 0, 0}), spec);
+  EXPECT_TRUE(line.left_volume);
+  EXPECT_EQ(line.points.size(), 1u);
+}
+
+TEST(Streamline, MaxStepsBounds) {
+  StreamlineSpec spec;
+  spec.max_steps = 10;
+  Streamline line = trace_streamline({0.5, 0, 0}, vortex_flow(), spec);
+  EXPECT_LE(line.points.size(), 11u);
+}
+
+TEST(Streamline, InvalidSpecThrows) {
+  StreamlineSpec spec;
+  spec.step = 0.0;
+  EXPECT_THROW(trace_streamline({0, 0, 0}, vortex_flow(), spec),
+               InvalidArgument);
+}
+
+TEST(StreamlineAccesses, CollapsesConsecutiveDuplicates) {
+  BlockGrid grid({32, 32, 32}, {8, 8, 8});
+  StreamlineSpec spec;
+  spec.step = 0.01;  // many points per block
+  Streamline line =
+      trace_streamline({-0.9, 0.01, 0.01}, uniform_flow({1, 0, 0}), spec);
+  auto accesses = streamline_block_accesses(line, grid);
+  // Straight line along x at fixed y,z: exactly the 4 blocks of that row.
+  EXPECT_EQ(accesses.size(), 4u);
+  for (usize i = 1; i < accesses.size(); ++i) {
+    EXPECT_NE(accesses[i], accesses[i - 1]);
+  }
+}
+
+TEST(StreamlineAccesses, RevisitsAppearAgain) {
+  // A circular orbit re-enters earlier blocks: accesses may repeat
+  // non-consecutively (that is the cache-relevant pattern).
+  BlockGrid grid({32, 32, 32}, {8, 8, 8});
+  StreamlineSpec spec;
+  spec.step = 0.02;
+  spec.max_steps = 700;  // > 2 revolutions at r=0.5
+  Streamline line = trace_streamline({0.5, 0, 0}, vortex_flow(), spec);
+  auto accesses = streamline_block_accesses(line, grid);
+  std::unordered_set<BlockId> unique(accesses.begin(), accesses.end());
+  EXPECT_GT(accesses.size(), unique.size());
+}
+
+TEST(StreamlineWorkload, SyntheticFlowTracesThroughHierarchy) {
+  SyntheticVolume flow = make_flow_volume({48, 48, 48});
+  Field3D u = rasterize(flow, 0), v = rasterize(flow, 1),
+          w = rasterize(flow, 2);
+  VectorSampler velocity = [&](const Vec3& p) -> std::optional<Vec3> {
+    return Vec3{u.sample_normalized(p.x, p.y, p.z),
+                v.sample_normalized(p.x, p.y, p.z),
+                w.sample_normalized(p.x, p.y, p.z)};
+  };
+
+  BlockGrid grid({48, 48, 48}, {8, 8, 8});
+  MemoryHierarchy hierarchy = MemoryHierarchy::paper_testbed(
+      grid.block_count() * grid.nominal_block_bytes(), 0.5, PolicyKind::kLru,
+      [&grid](BlockId id) { return grid.block_bytes(id); });
+
+  std::vector<Vec3> seeds;
+  for (double x : {-0.4, -0.2, 0.2, 0.4}) {
+    for (double y : {-0.3, 0.3}) seeds.push_back({x, y, -0.5});
+  }
+  StreamlineSpec spec;
+  spec.step = 0.02;
+  spec.max_steps = 500;
+  StreamlineWorkloadResult r =
+      run_streamline_workload(grid, hierarchy, seeds, velocity, spec);
+  EXPECT_EQ(r.lines, seeds.size());
+  EXPECT_GT(r.total_accesses, seeds.size());  // lines cross blocks
+  EXPECT_GT(r.unique_blocks, 4u);
+  EXPECT_GT(r.io_time, 0.0);
+  EXPECT_GE(r.fast_miss_rate, 0.0);
+  EXPECT_LE(r.fast_miss_rate, 1.0);
+}
+
+TEST(StreamlineWorkload, SharedBlocksHitAcrossLines) {
+  // Two seeds on the same vortex orbit touch the same blocks: the second
+  // line must enjoy cache hits from the first.
+  BlockGrid grid({32, 32, 32}, {8, 8, 8});
+  MemoryHierarchy hierarchy = MemoryHierarchy::paper_testbed(
+      grid.block_count() * grid.nominal_block_bytes(), 0.5, PolicyKind::kLru,
+      [&grid](BlockId id) { return grid.block_bytes(id); });
+  StreamlineSpec spec;
+  spec.step = 0.02;
+  spec.max_steps = 400;
+  std::vector<Vec3> seeds{{0.5, 0, 0}, {-0.5, 0, 0}};  // same orbit
+  StreamlineWorkloadResult r =
+      run_streamline_workload(grid, hierarchy, seeds, vortex_flow(), spec);
+  EXPECT_LT(r.fast_miss_rate, 0.6);  // second pass mostly hits
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,218 @@
+#include "core/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "volume/datasets.hpp"
+
+namespace vizcache {
+namespace {
+
+/// Shared fixture: a small time-varying climate stand-in with per-timestep
+/// importance tables and a visibility table.
+class TemporalTest : public ::testing::Test {
+ protected:
+  static constexpr usize kTimesteps = 3;
+
+  static void SetUpTestSuite() {
+    volume_ = new SyntheticVolume(make_climate_volume({32, 28, 12}, 4,
+                                                      kTimesteps));
+    grid_ = new BlockGrid(
+        BlockGrid::with_target_block_count(volume_->desc.dims, 128));
+    store_ = new SyntheticBlockStore(*volume_, grid_->block_dims());
+
+    importance_ = new std::vector<ImportanceTable>();
+    for (usize t = 0; t < kTimesteps; ++t) {
+      importance_->push_back(ImportanceTable::build(*store_, 64, 1, t));
+    }
+
+    VisibilityTableSpec ts;
+    ts.omega = {6, 12, 2, 2.5, 3.5};
+    ts.vicinal_samples = 6;
+    ts.view_angle_deg = 15.0;
+    ts.radius_model = {15.0, 0.25, 1e-3};
+    table_ = new VisibilityTable(VisibilityTable::build(*grid_, ts));
+  }
+
+  static void TearDownTestSuite() {
+    delete table_;
+    delete importance_;
+    delete store_;
+    delete grid_;
+    delete volume_;
+  }
+
+  static TemporalPipeline make_pipeline(TemporalConfig cfg,
+                                        PlaybackSpec playback) {
+    return TemporalPipeline(
+        *grid_, make_temporal_hierarchy(*grid_, playback.timesteps, 0.5,
+                                        cfg.policy),
+        cfg, playback, table_, importance_);
+  }
+
+  static CameraPath path(usize n = 30) {
+    RandomPathSpec rp;
+    rp.step_min_deg = 3.0;
+    rp.step_max_deg = 5.0;
+    rp.positions = n;
+    return make_random_path(rp);
+  }
+
+  static SyntheticVolume* volume_;
+  static BlockGrid* grid_;
+  static SyntheticBlockStore* store_;
+  static std::vector<ImportanceTable>* importance_;
+  static VisibilityTable* table_;
+};
+
+SyntheticVolume* TemporalTest::volume_ = nullptr;
+BlockGrid* TemporalTest::grid_ = nullptr;
+SyntheticBlockStore* TemporalTest::store_ = nullptr;
+std::vector<ImportanceTable>* TemporalTest::importance_ = nullptr;
+VisibilityTable* TemporalTest::table_ = nullptr;
+
+TEST(TimeBlockKey, PackUnpackRoundTrip) {
+  const usize nblocks = 100;
+  for (BlockId id : {0u, 1u, 57u, 99u}) {
+    for (usize t : {0u, 1u, 7u}) {
+      BlockId key = TimeBlockKey::pack(id, t, nblocks);
+      EXPECT_EQ(TimeBlockKey::spatial(key, nblocks), id);
+      EXPECT_EQ(TimeBlockKey::timestep(key, nblocks), t);
+    }
+  }
+}
+
+TEST(TimeBlockKey, DistinctAcrossTimesteps) {
+  EXPECT_NE(TimeBlockKey::pack(5, 0, 100), TimeBlockKey::pack(5, 1, 100));
+}
+
+TEST_F(TemporalTest, TimestepScheduleClampAndLoop) {
+  TemporalConfig cfg;
+  PlaybackSpec pb{3, 4, false};
+  TemporalPipeline p = make_pipeline(cfg, pb);
+  EXPECT_EQ(p.timestep_at(0), 0u);
+  EXPECT_EQ(p.timestep_at(3), 0u);
+  EXPECT_EQ(p.timestep_at(4), 1u);
+  EXPECT_EQ(p.timestep_at(11), 2u);
+  EXPECT_EQ(p.timestep_at(100), 2u);  // clamped
+
+  PlaybackSpec looped{3, 4, true};
+  TemporalPipeline lp = make_pipeline(cfg, looped);
+  EXPECT_EQ(lp.timestep_at(12), 0u);  // wrapped
+  EXPECT_EQ(lp.timestep_at(16), 1u);
+}
+
+TEST_F(TemporalTest, TimeAdvanceCausesRefetch) {
+  // With a static camera, a baseline must re-miss every block when the
+  // timestep flips (same spatial block, new data).
+  TemporalConfig cfg;
+  cfg.app_aware = false;
+  PlaybackSpec pb{kTimesteps, 10, false};
+  TemporalPipeline p = make_pipeline(cfg, pb);
+
+  CameraPath still(30, Camera({3, 0, 0}, 10.0));
+  RunResult r = p.run(still);
+  // Steps 1..10 are t=0; step 11 flips to t=1: all visible blocks miss.
+  EXPECT_EQ(r.steps[10].fast_misses, r.steps[10].visible_blocks);
+  EXPECT_EQ(r.steps[20].fast_misses, r.steps[20].visible_blocks);
+  // Within a timestep, a still camera has zero misses after the first step.
+  EXPECT_EQ(r.steps[5].fast_misses, 0u);
+}
+
+TEST_F(TemporalTest, TemporalPrefetchHidesTimestepFlips) {
+  CameraPath p = path(30);
+  PlaybackSpec pb{kTimesteps, 10, false};
+
+  TemporalConfig without;
+  without.app_aware = true;
+  without.temporal_prefetch = false;
+  RunResult r_without = make_pipeline(without, pb).run(p);
+
+  TemporalConfig with = without;
+  with.temporal_prefetch = true;
+  RunResult r_with = make_pipeline(with, pb).run(p);
+
+  // Prefetching next-timestep blocks during rendering must cut the misses
+  // at the flip steps (indices 10 and 20).
+  usize flips_without =
+      r_without.steps[10].fast_misses + r_without.steps[20].fast_misses;
+  usize flips_with =
+      r_with.steps[10].fast_misses + r_with.steps[20].fast_misses;
+  EXPECT_LT(flips_with, flips_without);
+  EXPECT_LE(r_with.fast_miss_rate, r_without.fast_miss_rate + 1e-9);
+}
+
+TEST_F(TemporalTest, AppAwareBeatsBaselineOnPlayback) {
+  CameraPath p = path(30);
+  PlaybackSpec pb{kTimesteps, 10, false};
+
+  TemporalConfig base;
+  base.app_aware = false;
+  base.policy = PolicyKind::kLru;
+  RunResult lru = make_pipeline(base, pb).run(p);
+
+  TemporalConfig aware;
+  aware.app_aware = true;
+  RunResult opt = make_pipeline(aware, pb).run(p);
+
+  // Prefetching cannot lose on demand I/O or misses. (Whether *total* time
+  // wins depends on render time being long enough to hide the prefetch —
+  // the realistic-scale bench_ablation_temporal demonstrates that case.)
+  EXPECT_LT(opt.io_time, lru.io_time);
+  EXPECT_LE(opt.fast_miss_rate, lru.fast_miss_rate + 1e-9);
+}
+
+TEST_F(TemporalTest, DeterministicRuns) {
+  CameraPath p = path(20);
+  PlaybackSpec pb{kTimesteps, 5, false};
+  TemporalConfig cfg;
+  cfg.app_aware = true;
+  RunResult a = make_pipeline(cfg, pb).run(p);
+  RunResult b = make_pipeline(cfg, pb).run(p);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.trace.id_sequence(), b.trace.id_sequence());
+}
+
+TEST_F(TemporalTest, TraceKeysEncodeTimesteps) {
+  TemporalConfig cfg;
+  PlaybackSpec pb{kTimesteps, 10, false};
+  TemporalPipeline p = make_pipeline(cfg, pb);
+  RunResult r = p.run(path(30));
+  bool saw_t1 = false;
+  for (const Access& a : r.trace.accesses()) {
+    usize t = TimeBlockKey::timestep(a.id, grid_->block_count());
+    EXPECT_LT(t, kTimesteps);
+    if (t == 1) saw_t1 = true;
+  }
+  EXPECT_TRUE(saw_t1);
+}
+
+TEST_F(TemporalTest, InvalidConfigsThrow) {
+  TemporalConfig cfg;
+  cfg.app_aware = true;
+  PlaybackSpec pb{kTimesteps, 10, false};
+  // Missing importance tables.
+  EXPECT_THROW(TemporalPipeline(*grid_,
+                                make_temporal_hierarchy(*grid_, kTimesteps,
+                                                        0.5, cfg.policy),
+                                cfg, pb, table_, nullptr),
+               InvalidArgument);
+  // Wrong importance table count.
+  std::vector<ImportanceTable> wrong;
+  wrong.push_back((*importance_)[0]);
+  EXPECT_THROW(TemporalPipeline(*grid_,
+                                make_temporal_hierarchy(*grid_, kTimesteps,
+                                                        0.5, cfg.policy),
+                                cfg, pb, table_, &wrong),
+               InvalidArgument);
+  // Zero timesteps.
+  TemporalConfig plain;
+  EXPECT_THROW(TemporalPipeline(*grid_,
+                                make_temporal_hierarchy(*grid_, 1, 0.5,
+                                                        plain.policy),
+                                plain, PlaybackSpec{0, 1, false}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/query.hpp"
+#include "util/rng.hpp"
+#include "volume/generators.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(TfInversion, GrayscaleGivesOneInterval) {
+  // grayscale: alpha 0 at v=0 rising to 0.8 at v=1; above 0 -> (0, 1].
+  auto queries = queries_from_transfer_function(TransferFunction::grayscale());
+  ASSERT_EQ(queries.size(), 1u);
+  const RangeClause& c = queries[0].clauses()[0];
+  EXPECT_NEAR(c.lo, 0.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(c.hi, 1.0f);
+}
+
+TEST(TfInversion, ThresholdShrinksInterval) {
+  TransferFunction tf({{0.0f, {0, 0, 0, 0.0f}}, {1.0f, {1, 1, 1, 1.0f}}});
+  auto queries = queries_from_transfer_function(tf, 0, 0.5f);
+  ASSERT_EQ(queries.size(), 1u);
+  const RangeClause& c = queries[0].clauses()[0];
+  EXPECT_NEAR(c.lo, 0.5f, 1e-5f);  // alpha crosses 0.5 at v = 0.5
+  EXPECT_FLOAT_EQ(c.hi, 1.0f);
+}
+
+TEST(TfInversion, IsoBandGivesItsBand) {
+  TransferFunction tf =
+      TransferFunction::iso_band(0.4f, 0.6f, {1, 0, 0, 0.8f});
+  auto queries = queries_from_transfer_function(tf);
+  ASSERT_EQ(queries.size(), 1u);
+  const RangeClause& c = queries[0].clauses()[0];
+  // The band plus its epsilon ramps.
+  EXPECT_GT(c.lo, 0.3f);
+  EXPECT_LT(c.lo, 0.4f + 1e-5f);
+  EXPECT_GT(c.hi, 0.6f - 1e-5f);
+  EXPECT_LT(c.hi, 0.7f);
+}
+
+TEST(TfInversion, MultipleBandsGiveMultipleQueries) {
+  // Two disjoint opaque bands.
+  TransferFunction tf({{0.0f, {0, 0, 0, 0}},
+                       {0.2f, {1, 0, 0, 0.5f}},
+                       {0.3f, {0, 0, 0, 0}},
+                       {0.7f, {0, 0, 0, 0}},
+                       {0.8f, {0, 1, 0, 0.5f}},
+                       {1.0f, {0, 0, 0, 0}}});
+  auto queries = queries_from_transfer_function(tf);
+  EXPECT_EQ(queries.size(), 2u);
+}
+
+TEST(TfInversion, FullyTransparentGivesNothing) {
+  TransferFunction tf({{0.0f, {0, 0, 0, 0}}, {1.0f, {1, 1, 1, 0}}});
+  EXPECT_TRUE(queries_from_transfer_function(tf).empty());
+}
+
+TEST(TfInversion, FullyOpaqueCoversEverything) {
+  TransferFunction tf({{0.0f, {1, 1, 1, 1}}, {1.0f, {1, 1, 1, 1}}});
+  auto queries = queries_from_transfer_function(tf);
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_FLOAT_EQ(queries[0].clauses()[0].lo, 0.0f);
+  EXPECT_FLOAT_EQ(queries[0].clauses()[0].hi, 1.0f);
+}
+
+TEST(TfInversion, InversionIsSound) {
+  // Property: every value whose opacity exceeds the threshold lies in some
+  // returned interval (no false rejection of visible values).
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<TransferFunction::ControlPoint> pts;
+    usize n = 2 + static_cast<usize>(rng.next_below(5));
+    for (usize i = 0; i < n; ++i) {
+      pts.push_back({static_cast<float>(rng.next_double()),
+                     {0, 0, 0, static_cast<float>(rng.next_double())}});
+    }
+    TransferFunction tf(pts);
+    float thr = static_cast<float>(rng.uniform(0.0, 0.9));
+    auto queries = queries_from_transfer_function(tf, 0, thr);
+    for (int s = 0; s <= 200; ++s) {
+      float v = static_cast<float>(s) / 200.0f;
+      if (tf.sample(v).a > thr + 1e-4f) {
+        bool covered = false;
+        for (const RegionQuery& q : queries) {
+          const RangeClause& c = q.clauses()[0];
+          if (v >= c.lo - 1e-5f && v <= c.hi + 1e-5f) covered = true;
+        }
+        EXPECT_TRUE(covered) << "trial " << trial << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(TfInversion, CullsAmbientBlocksOfFlame) {
+  // End-to-end: a fire TF (transparent below ~0.3) must cull the flame
+  // dataset's ambient blocks.
+  SyntheticBlockStore store(make_flame_volume("f", {32, 32, 32}), {8, 8, 8});
+  BlockMetadataTable metadata = BlockMetadataTable::build(store);
+  auto queries =
+      queries_from_transfer_function(TransferFunction::fire(), 0, 0.05f);
+  ASSERT_FALSE(queries.empty());
+  usize needed = 0;
+  for (BlockId id = 0; id < metadata.block_count(); ++id) {
+    if (tf_may_need_block(queries, metadata, id)) ++needed;
+  }
+  EXPECT_GT(needed, 0u);
+  EXPECT_LT(needed, metadata.block_count());
+}
+
+}  // namespace
+}  // namespace vizcache

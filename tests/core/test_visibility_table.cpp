@@ -1,0 +1,195 @@
+#include "core/visibility_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "volume/datasets.hpp"
+
+namespace vizcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+BlockGrid test_grid() {
+  return BlockGrid::with_target_block_count({64, 64, 64}, 512);
+}
+
+VisibilityTableSpec small_spec() {
+  VisibilityTableSpec spec;
+  spec.omega = {6, 12, 3, 2.5, 3.5};
+  spec.vicinal_samples = 6;
+  spec.view_angle_deg = 15.0;
+  spec.radius_model = {15.0, 0.25, 1e-3};
+  return spec;
+}
+
+TEST(VisibilityTable, EntryCountMatchesOmega) {
+  BlockGrid grid = test_grid();
+  VisibilityTable t = VisibilityTable::build(grid, small_spec());
+  EXPECT_EQ(t.entry_count(), 6u * 12 * 3);
+}
+
+TEST(VisibilityTable, EntriesSortedUniqueAndNonEmpty) {
+  BlockGrid grid = test_grid();
+  VisibilityTable t = VisibilityTable::build(grid, small_spec());
+  for (usize i = 0; i < t.entry_count(); ++i) {
+    const auto& e = t.entry(i);
+    EXPECT_FALSE(e.empty());
+    EXPECT_TRUE(std::is_sorted(e.begin(), e.end()));
+    EXPECT_EQ(std::adjacent_find(e.begin(), e.end()), e.end());
+    for (BlockId id : e) EXPECT_LT(id, grid.block_count());
+  }
+}
+
+TEST(VisibilityTable, EntryContainsExactVisibleSetOfItsSample) {
+  // The vicinal union must cover the sample's own frustum (the center point
+  // is always included in the vicinal ball).
+  BlockGrid grid = test_grid();
+  VisibilityTableSpec spec = small_spec();
+  VisibilityTable t = VisibilityTable::build(grid, spec);
+  BlockBoundsIndex idx(grid);
+  for (usize i = 0; i < t.entry_count(); i += 17) {
+    auto exact =
+        idx.visible_blocks(Camera(t.sample_position(i), spec.view_angle_deg));
+    const auto& entry = t.entry(i);
+    EXPECT_TRUE(
+        std::includes(entry.begin(), entry.end(), exact.begin(), exact.end()))
+        << "entry " << i << " misses blocks of its own frustum";
+  }
+}
+
+TEST(VisibilityTable, QueryReturnsNearestSampleEntry) {
+  BlockGrid grid = test_grid();
+  VisibilityTable t = VisibilityTable::build(grid, small_spec());
+  for (usize i = 0; i < t.entry_count(); i += 29) {
+    const Vec3& pos = t.sample_position(i);
+    EXPECT_EQ(t.nearest_index(pos), i);
+    EXPECT_EQ(&t.query(pos), &t.entry(i));
+  }
+}
+
+TEST(VisibilityTable, DeterministicBuilds) {
+  BlockGrid grid = test_grid();
+  VisibilityTable a = VisibilityTable::build(grid, small_spec());
+  VisibilityTable b = VisibilityTable::build(grid, small_spec());
+  ASSERT_EQ(a.entry_count(), b.entry_count());
+  for (usize i = 0; i < a.entry_count(); ++i) {
+    EXPECT_EQ(a.entry(i), b.entry(i));
+  }
+}
+
+TEST(VisibilityTable, ThreadedBuildMatchesSerial) {
+  BlockGrid grid = test_grid();
+  VisibilityTable serial = VisibilityTable::build(grid, small_spec());
+  ThreadPool pool(4);
+  VisibilityTable parallel =
+      VisibilityTable::build(grid, small_spec(), nullptr, &pool);
+  ASSERT_EQ(serial.entry_count(), parallel.entry_count());
+  for (usize i = 0; i < serial.entry_count(); ++i) {
+    EXPECT_EQ(serial.entry(i), parallel.entry(i)) << "entry " << i;
+  }
+}
+
+TEST(VisibilityTable, LargerRadiusPredictsMore) {
+  BlockGrid grid = test_grid();
+  VisibilityTableSpec narrow = small_spec();
+  narrow.fixed_radius = 0.02;
+  VisibilityTableSpec wide = small_spec();
+  wide.fixed_radius = 0.5;
+  VisibilityTable tn = VisibilityTable::build(grid, narrow);
+  VisibilityTable tw = VisibilityTable::build(grid, wide);
+  EXPECT_GT(tw.mean_entry_size(), tn.mean_entry_size());
+}
+
+TEST(VisibilityTable, ImportanceTrimCapsEntrySize) {
+  BlockGrid grid = test_grid();
+  SyntheticBlockStore store(make_flame_volume("f", {64, 64, 64}),
+                            grid.block_dims());
+  ImportanceTable imp = ImportanceTable::build(store, 64);
+  VisibilityTableSpec spec = small_spec();
+  spec.fixed_radius = 0.5;  // strong over-prediction
+  spec.max_blocks_per_entry = 40;
+  VisibilityTable t = VisibilityTable::build(grid, spec, &imp);
+  EXPECT_LE(t.max_entry_size(), 40u);
+  // Trimmed entries keep the *most important* blocks: every kept block's
+  // entropy must be >= the entropy of any dropped block... spot-check by
+  // comparing against the untrimmed union.
+  VisibilityTableSpec full = spec;
+  full.max_blocks_per_entry.reset();
+  VisibilityTable tf = VisibilityTable::build(grid, full);
+  const auto& trimmed = t.entry(0);
+  const auto& complete = tf.entry(0);
+  if (complete.size() > 40) {
+    double min_kept = 1e18;
+    for (BlockId id : trimmed) min_kept = std::min(min_kept, imp.entropy(id));
+    usize better_dropped = 0;
+    for (BlockId id : complete) {
+      if (std::find(trimmed.begin(), trimmed.end(), id) == trimmed.end() &&
+          imp.entropy(id) > min_kept + 1e-12) {
+        ++better_dropped;
+      }
+    }
+    EXPECT_EQ(better_dropped, 0u);
+  }
+}
+
+TEST(VisibilityTable, TrimWithoutImportanceThrows) {
+  BlockGrid grid = test_grid();
+  VisibilityTableSpec spec = small_spec();
+  spec.max_blocks_per_entry = 10;
+  EXPECT_THROW(VisibilityTable::build(grid, spec), InvalidArgument);
+}
+
+TEST(VisibilityTable, PathStepFloorGrowsEntries) {
+  BlockGrid grid = test_grid();
+  VisibilityTableSpec base = small_spec();
+  VisibilityTableSpec stepped = small_spec();
+  stepped.path_step_deg = 20.0;
+  VisibilityTable tb = VisibilityTable::build(grid, base);
+  VisibilityTable ts = VisibilityTable::build(grid, stepped);
+  EXPECT_GT(ts.mean_entry_size(), tb.mean_entry_size());
+}
+
+TEST(VisibilityTable, LookupCostScalesWithEntries) {
+  BlockGrid grid = test_grid();
+  VisibilityTableSpec spec = small_spec();
+  VisibilityTable small = VisibilityTable::build(grid, spec);
+  spec.omega = {12, 24, 3, 2.5, 3.5};
+  VisibilityTable large = VisibilityTable::build(grid, spec);
+  LookupCostModel cost;
+  EXPECT_GT(large.lookup_time(cost), small.lookup_time(cost));
+}
+
+TEST(VisibilityTable, SaveLoadRoundTrip) {
+  BlockGrid grid = test_grid();
+  VisibilityTable t = VisibilityTable::build(grid, small_spec());
+  std::string path =
+      (fs::temp_directory_path() / "vizcache_vt_test.bin").string();
+  t.save(path);
+  VisibilityTable loaded = VisibilityTable::load(path);
+  ASSERT_EQ(loaded.entry_count(), t.entry_count());
+  for (usize i = 0; i < t.entry_count(); i += 7) {
+    EXPECT_EQ(loaded.entry(i), t.entry(i));
+  }
+  // The lattice-based query must still work after load.
+  Vec3 pos = t.sample_position(5);
+  EXPECT_EQ(loaded.nearest_index(pos), 5u);
+  fs::remove(path);
+}
+
+TEST(VisibilityTable, LoadMissingFileThrows) {
+  EXPECT_THROW(VisibilityTable::load("/nonexistent/vt.bin"), IoError);
+}
+
+TEST(VisibilityTable, ZeroVicinalSamplesThrows) {
+  BlockGrid grid = test_grid();
+  VisibilityTableSpec spec = small_spec();
+  spec.vicinal_samples = 0;
+  EXPECT_THROW(VisibilityTable::build(grid, spec), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,107 @@
+#include "core/workbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+WorkbenchSpec tiny_spec() {
+  WorkbenchSpec spec;
+  spec.dataset = DatasetId::kBall3d;
+  spec.scale = 0.06;  // ~61^3
+  spec.target_blocks = 128;
+  spec.omega = {6, 12, 3, 2.5, 3.5};
+  return spec;
+}
+
+TEST(Workbench, BuildsAllComponents) {
+  Workbench wb(tiny_spec());
+  EXPECT_GT(wb.grid().block_count(), 64u);
+  EXPECT_EQ(wb.importance().block_count(), wb.grid().block_count());
+  EXPECT_EQ(wb.table().entry_count(), 6u * 12 * 3);
+  EXPECT_GT(wb.dataset_bytes(), 0u);
+}
+
+TEST(Workbench, DefaultEntryTrimEqualsDramBlocks) {
+  Workbench wb(tiny_spec());
+  auto dram_blocks = static_cast<usize>(
+      0.25 * static_cast<double>(wb.grid().block_count()));
+  ASSERT_TRUE(wb.spec().max_blocks_per_entry.has_value());
+  EXPECT_EQ(*wb.spec().max_blocks_per_entry, dram_blocks);
+  EXPECT_LE(wb.table().max_entry_size(), dram_blocks);
+}
+
+TEST(Workbench, DatasetBytesMatchesGrid) {
+  Workbench wb(tiny_spec());
+  u64 expected = 0;
+  for (BlockId id = 0; id < wb.grid().block_count(); ++id) {
+    expected += wb.grid().block_bytes(id);
+  }
+  EXPECT_EQ(wb.dataset_bytes(), expected);
+}
+
+TEST(Workbench, RebuildTableChangesLattice) {
+  Workbench wb(tiny_spec());
+  usize before = wb.table().entry_count();
+  wb.rebuild_table({10, 20, 3, 2.5, 3.5}, std::nullopt);
+  EXPECT_EQ(wb.table().entry_count(), 10u * 20 * 3);
+  EXPECT_NE(wb.table().entry_count(), before);
+}
+
+TEST(Workbench, SetCacheRatioAffectsHierarchy) {
+  Workbench wb(tiny_spec());
+  RandomPathSpec rp;
+  rp.positions = 30;
+  CameraPath path = make_random_path(rp);
+  RunResult small = wb.run_baseline(PolicyKind::kLru, path);
+  wb.set_cache_ratio(0.9);
+  RunResult large = wb.run_baseline(PolicyKind::kLru, path);
+  // Bigger caches can only help.
+  EXPECT_LE(large.fast_miss_rate, small.fast_miss_rate + 1e-9);
+}
+
+TEST(Workbench, SetCacheRatioValidates) {
+  Workbench wb(tiny_spec());
+  EXPECT_THROW(wb.set_cache_ratio(0.0), InvalidArgument);
+  EXPECT_THROW(wb.set_cache_ratio(1.5), InvalidArgument);
+}
+
+TEST(Workbench, SetPathStepValidates) {
+  Workbench wb(tiny_spec());
+  EXPECT_THROW(wb.set_path_step_deg(-1.0), InvalidArgument);
+}
+
+TEST(Workbench, SigmaMatchesFraction) {
+  WorkbenchSpec spec = tiny_spec();
+  spec.sigma_fraction = 0.5;
+  Workbench wb(spec);
+  auto above = wb.importance().above_threshold(wb.sigma_bits());
+  double fraction = static_cast<double>(above.size()) /
+                    static_cast<double>(wb.grid().block_count());
+  // The ball has many exactly-zero-entropy blocks, so the split can only be
+  // approximate; it must at least not exceed the block count and not be 0.
+  EXPECT_GT(fraction, 0.1);
+  EXPECT_LE(fraction, 1.0);
+}
+
+TEST(Workbench, FlameDatasetWorksToo) {
+  WorkbenchSpec spec = tiny_spec();
+  spec.dataset = DatasetId::kLiftedMixFrac;
+  Workbench wb(spec);
+  RandomPathSpec rp;
+  rp.positions = 20;
+  RunResult r = wb.run_app_aware(make_random_path(rp));
+  EXPECT_EQ(r.steps.size(), 20u);
+  EXPECT_GE(r.fast_miss_rate, 0.0);
+}
+
+TEST(Workbench, InvalidScaleRejected) {
+  WorkbenchSpec spec = tiny_spec();
+  spec.scale = 0.0;
+  EXPECT_THROW(Workbench{spec}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

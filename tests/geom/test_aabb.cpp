@@ -1,0 +1,66 @@
+#include "geom/aabb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vizcache {
+namespace {
+
+TEST(AABB, CenterExtentVolume) {
+  AABB box({-1, -2, -3}, {1, 2, 3});
+  EXPECT_EQ(box.center(), Vec3(0, 0, 0));
+  EXPECT_EQ(box.extent(), Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(box.volume(), 48.0);
+  EXPECT_DOUBLE_EQ(box.diagonal(), Vec3(2, 4, 6).norm());
+}
+
+TEST(AABB, Contains) {
+  AABB box({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(box.contains({0.5, 0.5, 0.5}));
+  EXPECT_TRUE(box.contains({0, 0, 0}));    // boundary inclusive
+  EXPECT_TRUE(box.contains({1, 1, 1}));
+  EXPECT_FALSE(box.contains({1.01, 0.5, 0.5}));
+  EXPECT_FALSE(box.contains({0.5, -0.01, 0.5}));
+}
+
+TEST(AABB, Intersects) {
+  AABB a({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(a.intersects({{0.5, 0.5, 0.5}, {2, 2, 2}}));
+  EXPECT_TRUE(a.intersects({{1, 1, 1}, {2, 2, 2}}));  // touching counts
+  EXPECT_FALSE(a.intersects({{1.5, 0, 0}, {2, 1, 1}}));
+  EXPECT_TRUE(a.intersects(a));
+}
+
+TEST(AABB, CornersAreAllEight) {
+  AABB box({0, 0, 0}, {1, 2, 3});
+  auto corners = box.corners();
+  std::set<std::tuple<double, double, double>> unique;
+  for (const Vec3& c : corners) {
+    unique.insert({c.x, c.y, c.z});
+    EXPECT_TRUE(box.contains(c));
+  }
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(AABB, United) {
+  AABB a({0, 0, 0}, {1, 1, 1});
+  AABB b({-1, 0.5, 0}, {0.5, 2, 0.5});
+  AABB u = a.united(b);
+  EXPECT_EQ(u.lo, Vec3(-1, 0, 0));
+  EXPECT_EQ(u.hi, Vec3(1, 2, 1));
+}
+
+TEST(AABB, ClampPoint) {
+  AABB box({0, 0, 0}, {1, 1, 1});
+  EXPECT_EQ(box.clamp_point({0.5, 0.5, 0.5}), Vec3(0.5, 0.5, 0.5));
+  EXPECT_EQ(box.clamp_point({2, -1, 0.5}), Vec3(1, 0, 0.5));
+}
+
+TEST(AABB, DegenerateVolumeIsZero) {
+  AABB flat({0, 0, 0}, {1, 1, 0});
+  EXPECT_DOUBLE_EQ(flat.volume(), 0.0);
+}
+
+}  // namespace
+}  // namespace vizcache

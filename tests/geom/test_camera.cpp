@@ -1,0 +1,39 @@
+#include "geom/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(Camera, LooksAtCenter) {
+  Camera c({3, 0, 0}, 30.0);
+  EXPECT_NEAR(c.view_direction().x, -1.0, 1e-12);
+  EXPECT_NEAR(c.view_direction().norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.view_distance(), 3.0);
+}
+
+TEST(Camera, ViewAngleConversion) {
+  Camera c({0, 0, 2}, 45.0);
+  EXPECT_DOUBLE_EQ(c.view_angle_deg(), 45.0);
+  EXPECT_NEAR(c.view_angle_rad(), deg_to_rad(45.0), 1e-12);
+}
+
+TEST(Camera, FromSphericalRoundTrip) {
+  Spherical s{1.0, 2.0, 3.0};
+  Camera c = Camera::from_spherical(s, 20.0);
+  Spherical back = c.spherical();
+  EXPECT_NEAR(back.theta, s.theta, 1e-9);
+  EXPECT_NEAR(back.phi, s.phi, 1e-9);
+  EXPECT_NEAR(back.r, s.r, 1e-9);
+}
+
+TEST(Camera, RejectsBadViewAngle) {
+  EXPECT_THROW(Camera({1, 0, 0}, 0.0), InvalidArgument);
+  EXPECT_THROW(Camera({1, 0, 0}, 180.0), InvalidArgument);
+  EXPECT_THROW(Camera({1, 0, 0}, -5.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

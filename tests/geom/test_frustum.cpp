@@ -1,0 +1,115 @@
+#include "geom/frustum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/spherical.hpp"
+#include "util/rng.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(ConeFrustum, ContainsPointsOnAxis) {
+  Camera cam({3, 0, 0}, 30.0);
+  ConeFrustum f(cam);
+  EXPECT_TRUE(f.contains_point({0, 0, 0}));       // the look-at center
+  EXPECT_TRUE(f.contains_point({1, 0, 0}));
+  EXPECT_TRUE(f.contains_point({-1, 0, 0}));
+  EXPECT_TRUE(f.contains_point(cam.position()));  // apex
+}
+
+TEST(ConeFrustum, RejectsPointsBehindCamera) {
+  Camera cam({3, 0, 0}, 30.0);
+  ConeFrustum f(cam);
+  EXPECT_FALSE(f.contains_point({5, 0, 0}));
+  EXPECT_FALSE(f.contains_point({4, 1, 1}));
+}
+
+TEST(ConeFrustum, RejectsPointsOutsideCone) {
+  Camera cam({3, 0, 0}, 30.0);  // half-angle 15 degrees
+  ConeFrustum f(cam);
+  // Point perpendicular to the view axis at the center's distance.
+  EXPECT_FALSE(f.contains_point({0, 3, 0}));
+}
+
+TEST(ConeFrustum, HalfAngleBoundaryIsSharp) {
+  Camera cam({2, 0, 0}, 40.0);  // half-angle 20 deg
+  ConeFrustum f(cam);
+  // A point 19.9 deg off axis is inside; 20.1 deg is out.
+  auto off_axis_point = [&](double deg) {
+    double rad = deg_to_rad(deg);
+    // From apex (2,0,0) looking toward -x: direction rotated by `rad`.
+    Vec3 dir{-std::cos(rad), std::sin(rad), 0.0};
+    return cam.position() + dir * 2.0;
+  };
+  EXPECT_TRUE(f.contains_point(off_axis_point(19.9)));
+  EXPECT_FALSE(f.contains_point(off_axis_point(20.1)));
+}
+
+TEST(ConeFrustum, BlockAtCenterAlwaysVisible) {
+  Rng rng(3);
+  AABB central({-0.1, -0.1, -0.1}, {0.1, 0.1, 0.1});
+  for (int i = 0; i < 100; ++i) {
+    Spherical s{rng.uniform(0.1, 3.0), rng.uniform(0.0, 6.28), rng.uniform(2.0, 4.0)};
+    Camera cam(spherical_to_cartesian(s), 10.0);
+    EXPECT_TRUE(ConeFrustum(cam).intersects_block(central));
+  }
+}
+
+TEST(ConeFrustum, BlockBehindCameraInvisible) {
+  Camera cam({3, 0, 0}, 30.0);
+  ConeFrustum f(cam);
+  AABB behind({3.5, -0.1, -0.1}, {3.7, 0.1, 0.1});
+  EXPECT_FALSE(f.intersects_block(behind));
+}
+
+TEST(ConeFrustum, OffAxisBlockInvisibleForNarrowCone) {
+  Camera cam({3, 0, 0}, 10.0);
+  ConeFrustum f(cam);
+  AABB corner_block({0.8, 0.8, 0.8}, {1.0, 1.0, 1.0});
+  EXPECT_FALSE(f.intersects_block(corner_block));
+}
+
+TEST(ConeFrustum, WideConeSeesCornerBlock) {
+  Camera cam({3, 0, 0}, 90.0);
+  ConeFrustum f(cam);
+  AABB corner_block({0.8, 0.8, 0.8}, {1.0, 1.0, 1.0});
+  EXPECT_TRUE(f.intersects_block(corner_block));
+}
+
+TEST(ConeFrustum, CameraInsideBlockVisible) {
+  Camera cam({0.05, 0.05, 0.05}, 20.0);
+  ConeFrustum f(cam);
+  AABB block({-0.1, -0.1, -0.1}, {0.1, 0.1, 0.1});
+  EXPECT_TRUE(f.intersects_block(block));
+}
+
+TEST(ConeFrustum, BlockWiderThanConeCrossSectionDetected) {
+  // A thin narrow cone piercing the middle of a huge block whose corners
+  // all lie outside the cone: the corner test alone would miss it.
+  Camera cam({5, 0, 0}, 2.0);
+  ConeFrustum f(cam);
+  AABB slab({-0.2, -2.0, -2.0}, {0.2, 2.0, 2.0});
+  EXPECT_TRUE(f.intersects_block(slab));
+}
+
+TEST(ConeFrustum, VisibilityMonotonicInViewAngle) {
+  // Anything visible in a narrow cone is visible in a wider one.
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    Vec3 pos = direction_from_angles(rng.uniform(0.1, 3.0),
+                                     rng.uniform(0.0, 6.28)) *
+               rng.uniform(2.0, 4.0);
+    Vec3 lo{rng.uniform(-1.0, 0.8), rng.uniform(-1.0, 0.8), rng.uniform(-1.0, 0.8)};
+    AABB block(lo, lo + Vec3{0.2, 0.2, 0.2});
+    ConeFrustum narrow(Camera(pos, 10.0));
+    ConeFrustum wide(Camera(pos, 40.0));
+    if (narrow.intersects_block(block)) {
+      EXPECT_TRUE(wide.intersects_block(block));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,152 @@
+#include "geom/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(SphericalPath, HasRequestedLength) {
+  SphericalPathSpec spec;
+  spec.positions = 123;
+  EXPECT_EQ(make_spherical_path(spec).size(), 123u);
+}
+
+TEST(SphericalPath, ConstantDistance) {
+  SphericalPathSpec spec;
+  spec.distance = 2.75;
+  for (const Camera& c : make_spherical_path(spec)) {
+    EXPECT_NEAR(c.view_distance(), 2.75, 1e-9);
+  }
+}
+
+TEST(SphericalPath, StepMatchesSpec) {
+  for (double deg : {1.0, 5.0, 15.0, 45.0}) {
+    SphericalPathSpec spec;
+    spec.step_deg = deg;
+    spec.positions = 50;
+    CameraPath path = make_spherical_path(spec);
+    EXPECT_NEAR(mean_step_degrees(path), deg, deg * 0.02 + 1e-9);
+  }
+}
+
+TEST(SphericalPath, CoversSphereViaPrecession) {
+  SphericalPathSpec spec;
+  spec.step_deg = 10.0;
+  spec.positions = 400;
+  CameraPath path = make_spherical_path(spec);
+  // The path should leave the initial orbit plane (z != 0 somewhere).
+  double max_abs_z = 0.0;
+  for (const Camera& c : path) {
+    max_abs_z = std::max(max_abs_z, std::abs(c.position().z));
+  }
+  EXPECT_GT(max_abs_z, 0.1);
+}
+
+TEST(SphericalPath, RejectsBadSpecs) {
+  SphericalPathSpec spec;
+  spec.positions = 0;
+  EXPECT_THROW(make_spherical_path(spec), InvalidArgument);
+  spec = {};
+  spec.step_deg = -1.0;
+  EXPECT_THROW(make_spherical_path(spec), InvalidArgument);
+  spec = {};
+  spec.distance = 0.0;
+  EXPECT_THROW(make_spherical_path(spec), InvalidArgument);
+}
+
+TEST(RandomPath, DeterministicForSeed) {
+  RandomPathSpec spec;
+  spec.seed = 77;
+  CameraPath a = make_random_path(spec);
+  CameraPath b = make_random_path(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (usize i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position(), b[i].position());
+  }
+}
+
+TEST(RandomPath, DifferentSeedsDiffer) {
+  RandomPathSpec spec;
+  spec.seed = 1;
+  CameraPath a = make_random_path(spec);
+  spec.seed = 2;
+  CameraPath b = make_random_path(spec);
+  bool any_diff = false;
+  for (usize i = 1; i < a.size(); ++i) {
+    if (!(a[i].position() == b[i].position())) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+/// Property sweep over the paper's degree-change ranges (Fig. 9h-n).
+class RandomPathStepTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(RandomPathStepTest, StepsStayInRange) {
+  auto [lo, hi] = GetParam();
+  RandomPathSpec spec;
+  spec.step_min_deg = lo;
+  spec.step_max_deg = hi;
+  spec.positions = 200;
+  CameraPath path = make_random_path(spec);
+  for (usize i = 1; i < path.size(); ++i) {
+    double step = rad_to_deg(angular_distance(path[i - 1].view_direction(),
+                                              path[i].view_direction()));
+    EXPECT_GE(step, lo - 1e-6);
+    EXPECT_LE(step, hi + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeRanges, RandomPathStepTest,
+    ::testing::Values(std::pair{0.0, 5.0}, std::pair{5.0, 10.0},
+                      std::pair{10.0, 15.0}, std::pair{15.0, 20.0},
+                      std::pair{20.0, 25.0}, std::pair{25.0, 30.0},
+                      std::pair{30.0, 35.0}));
+
+TEST(RandomPath, DistanceJitterWithinBounds) {
+  RandomPathSpec spec;
+  spec.distance_min = 2.0;
+  spec.distance_max = 4.0;
+  spec.positions = 300;
+  CameraPath path = make_random_path(spec);
+  double lo = 1e9, hi = 0.0;
+  for (const Camera& c : path) {
+    lo = std::min(lo, c.view_distance());
+    hi = std::max(hi, c.view_distance());
+    EXPECT_GE(c.view_distance(), 2.0 - 1e-9);
+    EXPECT_LE(c.view_distance(), 4.0 + 1e-9);
+  }
+  EXPECT_GT(hi - lo, 0.5);  // the jitter is actually exercised
+}
+
+TEST(RandomPath, FixedDistanceWhenRangeCollapsed) {
+  RandomPathSpec spec;
+  spec.distance_min = spec.distance_max = 3.0;
+  for (const Camera& c : make_random_path(spec)) {
+    EXPECT_DOUBLE_EQ(c.view_distance(), 3.0);
+  }
+}
+
+TEST(RandomPath, RejectsBadSpecs) {
+  RandomPathSpec spec;
+  spec.step_min_deg = 10.0;
+  spec.step_max_deg = 5.0;
+  EXPECT_THROW(make_random_path(spec), InvalidArgument);
+  spec = {};
+  spec.distance_min = -1.0;
+  EXPECT_THROW(make_random_path(spec), InvalidArgument);
+}
+
+TEST(MeanStepDegrees, ShortPathsAreZero) {
+  EXPECT_DOUBLE_EQ(mean_step_degrees({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_step_degrees({Camera({3, 0, 0}, 10.0)}), 0.0);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,115 @@
+#include "geom/radius_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(RadiusModel, OptimalRadiusSatisfiesEq3) {
+  // The whole point of Eq. 6: plugging r back into the aggregated-frustum
+  // volume (Eq. 3 LHS) must return the cache ratio exactly.
+  for (double ratio : {0.1, 0.25, 0.5}) {
+    for (double theta : {10.0, 20.0, 30.0}) {
+      for (double d : {2.0, 3.0, 4.0}) {
+        RadiusModel m{theta, ratio, 1e-6};
+        double r = m.optimal_radius(d);
+        if (r > m.min_radius) {  // interior solution
+          EXPECT_NEAR(m.frustum_fraction(r, d), ratio, 1e-9)
+              << "ratio=" << ratio << " theta=" << theta << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(RadiusModel, RadiusDecreasesWithDistance) {
+  // Farther cameras see wider frustums, so the vicinal ball must shrink to
+  // keep the aggregated volume constant (paper Section IV-B).
+  RadiusModel m{15.0, 0.25, 1e-6};
+  double prev = m.optimal_radius(1.5);
+  for (double d : {2.0, 2.5, 3.0, 3.5, 4.0}) {
+    double r = m.optimal_radius(d);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(RadiusModel, RadiusIncreasesWithCacheRatio) {
+  RadiusModel small{15.0, 0.1, 1e-6};
+  RadiusModel large{15.0, 0.4, 1e-6};
+  EXPECT_LT(small.optimal_radius(3.0), large.optimal_radius(3.0));
+}
+
+TEST(RadiusModel, WiderAngleShrinksRadius) {
+  RadiusModel narrow{10.0, 0.25, 1e-6};
+  RadiusModel wide{30.0, 0.25, 1e-6};
+  EXPECT_GT(narrow.optimal_radius(3.0), wide.optimal_radius(3.0));
+}
+
+TEST(RadiusModel, FloorsAtMinRadius) {
+  // Tiny cache + far camera: Eq. 6 would go negative; we clamp.
+  RadiusModel m{30.0, 0.01, 1e-3};
+  EXPECT_DOUBLE_EQ(m.optimal_radius(10.0), 1e-3);
+}
+
+TEST(RadiusModel, FrustumFractionMonotoneInRadius) {
+  RadiusModel m{15.0, 0.25, 1e-6};
+  double prev = m.frustum_fraction(0.0, 3.0);
+  for (double r : {0.1, 0.2, 0.4, 0.8}) {
+    double f = m.frustum_fraction(r, 3.0);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(RadiusModel, StepFloorCappedAtHalfVolumeRadius) {
+  RadiusModel m{15.0, 0.25, 1e-3};
+  double r_opt = m.optimal_radius(3.0);
+  double cap = m.radius_for_fraction(3.0, 0.5);
+  ASSERT_LT(r_opt, cap);
+  // Small steps leave the optimal radius in charge.
+  EXPECT_DOUBLE_EQ(m.radius_with_step_floor(3.0, r_opt * 0.5), r_opt);
+  // Moderate steps floor r at the step length.
+  double step = 0.5 * (r_opt + cap);
+  EXPECT_DOUBLE_EQ(m.radius_with_step_floor(3.0, step), step);
+  // Huge steps are capped: beyond the half-volume radius a larger vicinal
+  // ball only dilutes the prediction.
+  EXPECT_DOUBLE_EQ(m.radius_with_step_floor(3.0, 10.0), cap);
+}
+
+TEST(RadiusModel, RadiusForFractionInvertsFrustumFraction) {
+  RadiusModel m{12.0, 0.25, 1e-6};
+  for (double fraction : {0.2, 0.5, 0.9}) {
+    double r = m.radius_for_fraction(3.0, fraction);
+    if (r > m.min_radius) {
+      EXPECT_NEAR(m.frustum_fraction(r, 3.0), fraction, 1e-9);
+    }
+  }
+}
+
+TEST(RadiusModel, InvalidInputsThrow) {
+  RadiusModel m{15.0, 0.25, 1e-6};
+  EXPECT_THROW(m.optimal_radius(0.0), InvalidArgument);
+  EXPECT_THROW(m.optimal_radius(-1.0), InvalidArgument);
+  EXPECT_THROW(m.frustum_fraction(-0.1, 3.0), InvalidArgument);
+  RadiusModel bad{15.0, 0.0, 1e-6};
+  EXPECT_THROW(bad.optimal_radius(3.0), InvalidArgument);
+}
+
+/// Paper Fig. 11 context: the pre-defined radii it compares against.
+class FixedRadiusTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FixedRadiusTest, FractionWellDefined) {
+  RadiusModel m{15.0, 0.25, 1e-6};
+  double f = m.frustum_fraction(GetParam(), 3.0);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRadii, FixedRadiusTest,
+                         ::testing::Values(0.025, 0.05, 0.075, 0.1));
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,140 @@
+#include "geom/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(OmegaSampling, TotalCountMatchesSpec) {
+  OmegaSamplingSpec spec{36, 72, 10, 2.0, 4.0};
+  EXPECT_EQ(spec.total_positions(), 25920u);  // the paper's optimum
+  EXPECT_EQ(sample_omega_positions(spec).size(), 25920u);
+}
+
+TEST(OmegaSampling, PositionsWithinDistanceRange) {
+  OmegaSamplingSpec spec{6, 12, 4, 2.0, 4.0};
+  for (const Vec3& p : sample_omega_positions(spec)) {
+    EXPECT_GE(p.norm(), 2.0 - 1e-9);
+    EXPECT_LE(p.norm(), 4.0 + 1e-9);
+  }
+}
+
+TEST(OmegaSampling, SingleDistanceStepUsesMidpointFraction) {
+  OmegaSamplingSpec spec{4, 4, 1, 2.0, 4.0};
+  for (const Vec3& p : sample_omega_positions(spec)) {
+    EXPECT_NEAR(p.norm(), 3.0, 1e-9);
+  }
+}
+
+TEST(OmegaSampling, NearestIndexRecoversLatticePoints) {
+  OmegaSamplingSpec spec{8, 16, 5, 2.0, 4.0};
+  auto positions = sample_omega_positions(spec);
+  for (usize i = 0; i < positions.size(); ++i) {
+    EXPECT_EQ(nearest_omega_index(spec, positions[i]), i);
+  }
+}
+
+TEST(OmegaSampling, NearestIndexMatchesBruteForce) {
+  OmegaSamplingSpec spec{10, 20, 4, 2.0, 4.0};
+  auto positions = sample_omega_positions(spec);
+  Rng rng(5);
+  usize agreements = 0;
+  const usize trials = 200;
+  for (usize t = 0; t < trials; ++t) {
+    Vec3 q = direction_from_angles(rng.uniform(0.1, 3.04),
+                                   rng.uniform(0.0, 6.28)) *
+             rng.uniform(2.0, 4.0);
+    usize grid_idx = nearest_omega_index(spec, q);
+    usize brute_idx = nearest_position_linear(positions, q);
+    // Grid lookup rounds per-axis; allow rare disagreement near cell
+    // boundaries but the distances must then be nearly equal.
+    if (grid_idx == brute_idx) {
+      ++agreements;
+    } else {
+      double dg = (positions[grid_idx] - q).norm();
+      double db = (positions[brute_idx] - q).norm();
+      EXPECT_LE(dg, db * 1.5 + 1e-9);
+    }
+  }
+  EXPECT_GT(agreements, trials * 8 / 10);
+}
+
+TEST(OmegaSampling, RejectsEmptySpec) {
+  EXPECT_THROW(sample_omega_positions({0, 4, 4, 2.0, 4.0}), InvalidArgument);
+  EXPECT_THROW(sample_omega_positions({4, 4, 4, -1.0, 4.0}), InvalidArgument);
+  EXPECT_THROW(sample_omega_positions({4, 4, 4, 4.0, 2.0}), InvalidArgument);
+}
+
+TEST(NearestLinear, EmptySetThrows) {
+  std::vector<Vec3> empty;
+  EXPECT_THROW(nearest_position_linear(empty, {0, 0, 0}), InvalidArgument);
+}
+
+TEST(NearestLinear, PicksClosest) {
+  std::vector<Vec3> pts{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+  EXPECT_EQ(nearest_position_linear(pts, {0.9, 0, 0}), 1u);
+  EXPECT_EQ(nearest_position_linear(pts, {-5, 0, 0}), 0u);
+}
+
+TEST(VicinalBall, IncludesCenterAndRespectsRadius) {
+  Rng rng(7);
+  Vec3 center{3, 1, -2};
+  auto pts = sample_vicinal_ball(center, 0.5, 32, rng);
+  ASSERT_EQ(pts.size(), 33u);  // center + count
+  EXPECT_EQ(pts[0], center);
+  for (const Vec3& p : pts) {
+    EXPECT_LE((p - center).norm(), 0.5 + 1e-9);
+  }
+}
+
+TEST(VicinalBall, ZeroRadiusCollapses) {
+  Rng rng(9);
+  auto pts = sample_vicinal_ball({1, 2, 3}, 0.0, 5, rng);
+  for (const Vec3& p : pts) {
+    EXPECT_NEAR((p - Vec3{1, 2, 3}).norm(), 0.0, 1e-12);
+  }
+}
+
+TEST(VicinalBall, DeterministicGivenRngState) {
+  Rng a(11), b(11);
+  auto p1 = sample_vicinal_ball({0, 0, 3}, 0.3, 16, a);
+  auto p2 = sample_vicinal_ball({0, 0, 3}, 0.3, 16, b);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (usize i = 0; i < p1.size(); ++i) EXPECT_EQ(p1[i], p2[i]);
+}
+
+TEST(VicinalBall, NegativeRadiusThrows) {
+  Rng rng(1);
+  EXPECT_THROW(sample_vicinal_ball({0, 0, 0}, -0.1, 4, rng), InvalidArgument);
+}
+
+TEST(FibonacciSphere, UnitVectors) {
+  for (const Vec3& d : fibonacci_sphere(100)) {
+    EXPECT_NEAR(d.norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(FibonacciSphere, RoughlyUniformOctants) {
+  auto dirs = fibonacci_sphere(8000);
+  usize counts[8] = {};
+  for (const Vec3& d : dirs) {
+    usize idx = (d.x > 0 ? 1u : 0u) | (d.y > 0 ? 2u : 0u) | (d.z > 0 ? 4u : 0u);
+    ++counts[idx];
+  }
+  for (usize c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 150.0);
+  }
+}
+
+TEST(FibonacciSphere, EdgeCases) {
+  EXPECT_EQ(fibonacci_sphere(1).size(), 1u);
+  EXPECT_THROW(fibonacci_sphere(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,85 @@
+#include "geom/spherical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace vizcache {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Spherical, AxisConversions) {
+  // theta=0 -> +z
+  Vec3 z = spherical_to_cartesian({0.0, 0.0, 2.0});
+  EXPECT_NEAR(z.z, 2.0, 1e-12);
+  // theta=pi/2, phi=0 -> +x
+  Vec3 x = spherical_to_cartesian({kPi / 2, 0.0, 3.0});
+  EXPECT_NEAR(x.x, 3.0, 1e-12);
+  EXPECT_NEAR(x.z, 0.0, 1e-12);
+  // theta=pi/2, phi=pi/2 -> +y
+  Vec3 y = spherical_to_cartesian({kPi / 2, kPi / 2, 1.0});
+  EXPECT_NEAR(y.y, 1.0, 1e-12);
+}
+
+TEST(Spherical, RoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Spherical s{rng.uniform(0.01, kPi - 0.01), rng.uniform(0.0, 2 * kPi - 0.01),
+                rng.uniform(0.5, 5.0)};
+    Spherical back = cartesian_to_spherical(spherical_to_cartesian(s));
+    EXPECT_NEAR(back.theta, s.theta, 1e-9);
+    EXPECT_NEAR(back.phi, s.phi, 1e-9);
+    EXPECT_NEAR(back.r, s.r, 1e-9);
+  }
+}
+
+TEST(Spherical, OriginMapsToZero) {
+  Spherical s = cartesian_to_spherical({0, 0, 0});
+  EXPECT_DOUBLE_EQ(s.r, 0.0);
+  EXPECT_DOUBLE_EQ(s.theta, 0.0);
+  EXPECT_DOUBLE_EQ(s.phi, 0.0);
+}
+
+TEST(Spherical, PhiInZeroTwoPi) {
+  Spherical s = cartesian_to_spherical({1.0, -1.0, 0.0});
+  EXPECT_GE(s.phi, 0.0);
+  EXPECT_LT(s.phi, 2 * kPi);
+}
+
+TEST(Spherical, DirectionFromAnglesIsUnit) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Vec3 d = direction_from_angles(rng.uniform(0, kPi), rng.uniform(0, 2 * kPi));
+    EXPECT_NEAR(d.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Spherical, AngularDistance) {
+  Vec3 x{1, 0, 0}, y{0, 1, 0};
+  EXPECT_NEAR(angular_distance(x, y), kPi / 2, 1e-12);
+  EXPECT_NEAR(angular_distance(x, x), 0.0, 1e-12);
+}
+
+TEST(Spherical, PerturbDirectionMovesExactAngle) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Vec3 dir = direction_from_angles(rng.uniform(0.05, kPi - 0.05),
+                                     rng.uniform(0, 2 * kPi));
+    double angle = rng.uniform(0.01, 1.0);
+    double tangent = rng.uniform(0, 2 * kPi);
+    Vec3 out = perturb_direction(dir, angle, tangent);
+    EXPECT_NEAR(out.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(angular_distance(dir, out), angle, 1e-9);
+  }
+}
+
+TEST(Spherical, PerturbHandlesPolarDirections) {
+  // The tangent-basis construction must not degenerate at +-z.
+  Vec3 out = perturb_direction({0, 0, 1}, 0.3, 1.0);
+  EXPECT_NEAR(out.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(angular_distance({0, 0, 1}, out), 0.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,79 @@
+#include "geom/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vizcache {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3, DotAndCross) {
+  Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_DOUBLE_EQ(Vec3(1, 2, 3).dot(Vec3(4, 5, 6)), 32.0);
+}
+
+TEST(Vec3, NormAndNormalize) {
+  Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  Vec3 n = v.normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(n.x, 0.6);
+  EXPECT_DOUBLE_EQ(n.y, 0.8);
+}
+
+TEST(Vec3, NormalizeZeroVectorIsSafe) {
+  Vec3 n = Vec3{0, 0, 0}.normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+}
+
+TEST(Vec3, AngleBetween) {
+  EXPECT_NEAR(angle_between({1, 0, 0}, {0, 1, 0}), deg_to_rad(90), 1e-12);
+  EXPECT_NEAR(angle_between({1, 0, 0}, {1, 0, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(angle_between({1, 0, 0}, {-1, 0, 0}), deg_to_rad(180), 1e-12);
+  EXPECT_NEAR(angle_between({1, 0, 0}, {1, 1, 0}), deg_to_rad(45), 1e-12);
+}
+
+TEST(Vec3, AngleBetweenZeroVectorIsZero) {
+  EXPECT_DOUBLE_EQ(angle_between({0, 0, 0}, {1, 0, 0}), 0.0);
+}
+
+TEST(Vec3, AngleBetweenClampsRoundoff) {
+  // Nearly-parallel vectors whose cosine may exceed 1 in floating point.
+  Vec3 a{1.0, 1e-16, 0.0};
+  EXPECT_GE(angle_between(a, a), 0.0);
+}
+
+TEST(Vec3, DegRadConversions) {
+  EXPECT_NEAR(deg_to_rad(180.0), 3.14159265358979, 1e-10);
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(73.5)), 73.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/async_prefetcher.hpp"
+#include "util/error.hpp"
+#include "volume/file_block_store.hpp"
+#include "volume/packed_block_store.hpp"
+
+namespace vizcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Failure-injection coverage: I/O errors must surface cleanly (exceptions
+/// on demand paths, counted-and-recovered on background paths), never hang
+/// or corrupt the prefetcher.
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "vizcache_fault_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(FailureInjectionTest, BackgroundPrefetchFailureIsCountedAndRetried) {
+  SyntheticVolume ball = make_ball_volume({16, 16, 16});
+  FileBlockStore store =
+      FileBlockStore::write_store((dir_ / "bricks").string(), ball, {8, 8, 8});
+
+  // Delete one brick out from under the store.
+  fs::remove(store.block_path(3, 0, 0));
+
+  AsyncPrefetcher pf(store, 2);
+  std::vector<BlockId> ids{0, 1, 2, 3, 4};
+  pf.request(ids);
+  pf.drain();
+
+  EXPECT_EQ(pf.stats().failures, 1u);
+  EXPECT_EQ(pf.stats().prefetched, 4u);
+  EXPECT_EQ(pf.get_if_ready(3), nullptr);
+  // The healthy blocks are all usable.
+  for (BlockId id : {0u, 1u, 2u, 4u}) {
+    EXPECT_NE(pf.get_if_ready(id), nullptr);
+  }
+
+  // The failed block is retryable: restore the brick, re-request, succeed.
+  FileBlockStore::write_store((dir_ / "bricks").string(), ball, {8, 8, 8});
+  std::vector<BlockId> retry{3};
+  pf.request(retry);
+  pf.drain();
+  EXPECT_NE(pf.get_if_ready(3), nullptr);
+  EXPECT_EQ(pf.stats().prefetched, 5u);
+}
+
+TEST_F(FailureInjectionTest, DemandReadFailureThrowsToCaller) {
+  SyntheticVolume ball = make_ball_volume({16, 16, 16});
+  FileBlockStore store =
+      FileBlockStore::write_store((dir_ / "bricks").string(), ball, {8, 8, 8});
+  fs::remove(store.block_path(5, 0, 0));
+
+  AsyncPrefetcher pf(store, 1);
+  EXPECT_THROW(pf.get_blocking(5), IoError);
+  // The prefetcher stays usable after the demand failure.
+  EXPECT_NE(pf.get_blocking(0), nullptr);
+}
+
+TEST_F(FailureInjectionTest, TruncatedPackedStoreFailsOnlyAffectedBlocks) {
+  SyntheticVolume ball = make_ball_volume({16, 16, 16});
+  std::string path = (dir_ / "store.vzpk").string();
+  PackedFileBlockStore store =
+      PackedFileBlockStore::write_store(path, ball, {8, 8, 8});
+
+  // Chop off the tail: the last bricks become unreadable, earlier ones keep
+  // working (the index survives at the front of the file).
+  u64 brick_bytes = 8ull * 8 * 8 * 4;
+  fs::resize_file(path, fs::file_size(path) - brick_bytes);
+  PackedFileBlockStore damaged(path);
+  EXPECT_NO_THROW(damaged.read_block(0, 0, 0));
+  EXPECT_THROW(damaged.read_block(7, 0, 0), IoError);
+  // And reads after a failure still work (stream state is cleared).
+  EXPECT_NO_THROW(damaged.read_block(1, 0, 0));
+}
+
+TEST_F(FailureInjectionTest, CorruptTableFilesRejected) {
+  // Garbage where a serialized table is expected.
+  std::string junk = (dir_ / "junk.bin").string();
+  {
+    std::ofstream out(junk, std::ios::binary);
+    out << "not a table";
+  }
+  EXPECT_THROW(PackedFileBlockStore{junk}, IoError);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/workbench.hpp"
+
+namespace vizcache {
+namespace {
+
+/// Qualitative claims of the paper's evaluation, asserted with generous
+/// margins so they hold across parameter noise. These are the properties
+/// the bench binaries then report quantitatively.
+class PaperShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchSpec spec;
+    spec.dataset = DatasetId::kBall3d;
+    spec.scale = 0.1;
+    spec.target_blocks = 512;
+    spec.omega = {12, 24, 3, 2.5, 3.5};
+    bench_ = new Workbench(spec);
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* PaperShapes::bench_ = nullptr;
+
+TEST_F(PaperShapes, OptBeatsBaselinesOnSlowSphericalPath) {
+  // Fig. 12a at small degree steps: OPT well below FIFO and LRU.
+  bench_->set_path_step_deg(2.0);
+  SphericalPathSpec sp;
+  sp.step_deg = 2.0;
+  sp.positions = 150;
+  CameraPath path = make_spherical_path(sp);
+  double fifo = bench_->run_baseline(PolicyKind::kFifo, path).fast_miss_rate;
+  double lru = bench_->run_baseline(PolicyKind::kLru, path).fast_miss_rate;
+  double opt = bench_->run_app_aware(path).fast_miss_rate;
+  EXPECT_LT(opt, fifo * 0.8);
+  EXPECT_LT(opt, lru * 0.8);
+}
+
+TEST_F(PaperShapes, MissRateIncreasesWithDegreeChange) {
+  // Fig. 12: larger view-direction changes raise miss rates for every
+  // policy.
+  SphericalPathSpec sp;
+  sp.positions = 100;
+  double prev_lru = -1.0;
+  for (double deg : {1.0, 10.0, 30.0}) {
+    sp.step_deg = deg;
+    double lru = bench_
+                     ->run_baseline(PolicyKind::kLru,
+                                    make_spherical_path(sp))
+                     .fast_miss_rate;
+    EXPECT_GE(lru, prev_lru - 0.02) << "deg " << deg;
+    prev_lru = lru;
+  }
+}
+
+TEST_F(PaperShapes, OverlapMakesOptTotalTimeCompetitive) {
+  // Fig. 13 at small degree changes: OPT's total time (io + max(render,
+  // prefetch)) undercuts LRU and FIFO (io + render).
+  bench_->set_path_step_deg(5.0);
+  RandomPathSpec rp;
+  rp.step_min_deg = 4.0;
+  rp.step_max_deg = 6.0;
+  rp.positions = 150;
+  CameraPath path = make_random_path(rp);
+  double fifo = bench_->run_baseline(PolicyKind::kFifo, path).total_time;
+  double lru = bench_->run_baseline(PolicyKind::kLru, path).total_time;
+  double opt = bench_->run_app_aware(path).total_time;
+  EXPECT_LT(opt, lru);
+  EXPECT_LT(opt, fifo);
+}
+
+TEST_F(PaperShapes, LargerCacheRatioHelpsOptAtBigSteps) {
+  // Fig. 13b: raising the ratio from 0.5 to 0.7 lets OPT hold predicted
+  // blocks and reduces its miss rate at 10-15 degree steps.
+  bench_->set_path_step_deg(12.5);
+  RandomPathSpec rp;
+  rp.step_min_deg = 10.0;
+  rp.step_max_deg = 15.0;
+  rp.positions = 120;
+  CameraPath path = make_random_path(rp);
+
+  double opt_small = bench_->run_app_aware(path).fast_miss_rate;
+  bench_->set_cache_ratio(0.7);
+  double opt_large = bench_->run_app_aware(path).fast_miss_rate;
+  bench_->set_cache_ratio(0.5);  // restore for other tests
+  EXPECT_LT(opt_large, opt_small);
+}
+
+TEST_F(PaperShapes, PrefetchTimeIsOverlappedNotAdded) {
+  // Section V-D: OPT's total is io + max(render, prefetch), strictly less
+  // than the naive io + render + prefetch whenever both are positive.
+  bench_->set_path_step_deg(5.0);
+  RandomPathSpec rp;
+  rp.step_min_deg = 4.0;
+  rp.step_max_deg = 6.0;
+  rp.positions = 80;
+  RunResult opt = bench_->run_app_aware(make_random_path(rp));
+  EXPECT_GT(opt.prefetch_time, 0.0);
+  EXPECT_LT(opt.total_time,
+            opt.io_time + opt.render_time + opt.prefetch_time + opt.lookup_time);
+}
+
+TEST_F(PaperShapes, MoreSamplingPositionsLowerMissRate) {
+  // Fig. 7a: a denser Omega lattice predicts better.
+  RandomPathSpec rp;
+  rp.step_min_deg = 10.0;
+  rp.step_max_deg = 15.0;
+  rp.positions = 100;
+  CameraPath path = make_random_path(rp);
+
+  bench_->set_path_step_deg(12.5);
+  bench_->rebuild_table({4, 8, 2, 2.5, 3.5}, std::nullopt);
+  double sparse = bench_->run_app_aware(path).fast_miss_rate;
+  bench_->rebuild_table({12, 24, 3, 2.5, 3.5}, std::nullopt);
+  double dense = bench_->run_app_aware(path).fast_miss_rate;
+  EXPECT_LE(dense, sparse + 0.01);
+}
+
+TEST_F(PaperShapes, ModelRadiusCompetitiveWithFixedRadii) {
+  // Fig. 11: the Eq. 6 radius yields an io+prefetch time no worse than the
+  // best fixed radius choice (within tolerance).
+  bench_->set_path_step_deg(5.0);
+  RandomPathSpec rp;
+  rp.step_min_deg = 4.0;
+  rp.step_max_deg = 6.0;
+  rp.positions = 100;
+  CameraPath path = make_random_path(rp);
+
+  RunResult model = bench_->run_app_aware(path);
+  double model_cost = model.io_time + model.prefetch_time;
+
+  double best_fixed = 1e18;
+  for (double r : {0.025, 0.05, 0.075, 0.1}) {
+    bench_->rebuild_table(bench_->spec().omega, r);
+    RunResult run = bench_->run_app_aware(path);
+    best_fixed = std::min(best_fixed, run.io_time + run.prefetch_time);
+  }
+  bench_->rebuild_table(bench_->spec().omega, std::nullopt);
+  EXPECT_LT(model_cost, best_fixed * 1.15);
+}
+
+}  // namespace
+}  // namespace vizcache

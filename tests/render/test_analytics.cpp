@@ -1,0 +1,94 @@
+#include "render/analytics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "volume/block_store.hpp"
+
+namespace vizcache {
+namespace {
+
+SyntheticBlockStore climate_store() {
+  return SyntheticBlockStore(make_climate_volume({16, 16, 8}, 6, 2),
+                             {8, 8, 4});
+}
+
+TEST(Analytics, HistogramsCoverAllVoxels) {
+  SyntheticBlockStore store = climate_store();
+  std::vector<BlockId> blocks{0, 1, 2};
+  RegionAnalytics a = analyze_region(store, blocks, 3);
+  usize expected = 0;
+  for (BlockId id : blocks) expected += store.grid().block_voxels(id);
+  EXPECT_EQ(a.voxels_analyzed, expected);
+  ASSERT_EQ(a.histograms.size(), 3u);
+  for (const Histogram& h : a.histograms) {
+    EXPECT_EQ(h.total(), expected);
+  }
+  EXPECT_EQ(a.correlation.sample_count(), expected);
+}
+
+TEST(Analytics, StrideSubsamples) {
+  SyntheticBlockStore store = climate_store();
+  std::vector<BlockId> blocks{0};
+  RegionAnalytics full = analyze_region(store, blocks, 2, 0, 0.0, 1.0, 64, 1);
+  RegionAnalytics sub = analyze_region(store, blocks, 2, 0, 0.0, 1.0, 64, 4);
+  EXPECT_EQ(sub.voxels_analyzed, (full.voxels_analyzed + 3) / 4);
+}
+
+TEST(Analytics, CorrelatedVariablesDetected) {
+  // Climate vars 0 and 4 share the qvapor prototype: correlation above 0.
+  SyntheticBlockStore store(make_climate_volume({16, 16, 8}, 6, 1), {8, 8, 4});
+  auto blocks = store.grid().all_blocks();
+  RegionAnalytics a = analyze_region(store, blocks, 5);
+  EXPECT_GT(a.correlation.correlation(0, 4), 0.3);
+  EXPECT_DOUBLE_EQ(a.correlation.correlation(2, 2), 1.0);
+}
+
+TEST(Analytics, RegionDependence) {
+  // The Fig. 3 property: different visible regions give different
+  // statistics.
+  SyntheticBlockStore store(make_climate_volume({16, 16, 16}, 4, 1), {8, 8, 8});
+  std::vector<BlockId> low{0};
+  std::vector<BlockId> high{static_cast<BlockId>(store.grid().block_count() - 1)};
+  RegionAnalytics a = analyze_region(store, low, 1);
+  RegionAnalytics b = analyze_region(store, high, 1);
+  bool histograms_differ = false;
+  for (usize bin = 0; bin < a.histograms[0].bin_count(); ++bin) {
+    if (a.histograms[0].count(bin) != b.histograms[0].count(bin)) {
+      histograms_differ = true;
+    }
+  }
+  EXPECT_TRUE(histograms_differ);
+}
+
+TEST(Analytics, TimestepSelectsData) {
+  SyntheticBlockStore store = climate_store();
+  std::vector<BlockId> blocks{0};
+  RegionAnalytics t0 = analyze_region(store, blocks, 2, 0);
+  RegionAnalytics t1 = analyze_region(store, blocks, 2, 1);
+  // Wind around the moving vortex changes between steps.
+  bool differ = false;
+  for (usize bin = 0; bin < t0.histograms[1].bin_count(); ++bin) {
+    if (t0.histograms[1].count(bin) != t1.histograms[1].count(bin)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Analytics, InvalidArgsThrow) {
+  SyntheticBlockStore store = climate_store();
+  std::vector<BlockId> blocks{0};
+  EXPECT_THROW(analyze_region(store, blocks, 0), InvalidArgument);
+  EXPECT_THROW(analyze_region(store, blocks, 100), InvalidArgument);
+  EXPECT_THROW(analyze_region(store, blocks, 2, 0, 0.0, 1.0, 64, 0),
+               InvalidArgument);
+}
+
+TEST(Analytics, EmptyRegionIsEmpty) {
+  SyntheticBlockStore store = climate_store();
+  RegionAnalytics a = analyze_region(store, {}, 2);
+  EXPECT_EQ(a.voxels_analyzed, 0u);
+  EXPECT_EQ(a.correlation.sample_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,140 @@
+#include "render/compositor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "volume/generators.hpp"
+
+namespace vizcache {
+namespace {
+
+struct CompositeWorld {
+  SyntheticVolume volume = make_ball_volume({32, 32, 32});
+  BlockGrid grid{{32, 32, 32}, {8, 8, 8}};
+  VolumeSampler sampler = [this](const Vec3& p) -> std::optional<float> {
+    return volume.fn(p, 0, 0);
+  };
+  TransferFunction tf = TransferFunction::grayscale();
+  RaycastParams params = [] {
+    RaycastParams p;
+    p.image_width = 24;
+    p.image_height = 24;
+    p.step_size = 0.05;
+    return p;
+  }();
+  Camera camera{{3, 0, 0}, 35.0};
+};
+
+TEST(Compositor, MaskedRenderOnlyShowsOwnedBlocks) {
+  CompositeWorld w;
+  // Rendering zero blocks gives an empty image.
+  Image none = raycast_blocks(w.camera, w.grid, {}, w.sampler, w.tf, w.params);
+  EXPECT_DOUBLE_EQ(none.coverage(), 0.0);
+  // Rendering every block matches the unmasked raycast.
+  auto all_ids = w.grid.all_blocks();
+  Image all = raycast_blocks(w.camera, w.grid, all_ids, w.sampler, w.tf,
+                             w.params);
+  Image mono = raycast(w.camera, w.sampler, w.tf, w.params);
+  for (usize y = 0; y < w.params.image_height; ++y) {
+    for (usize x = 0; x < w.params.image_width; ++x) {
+      EXPECT_NEAR(all.at(x, y).a, mono.at(x, y).a, 1e-5f);
+    }
+  }
+}
+
+TEST(Compositor, SlabCompositeMatchesMonolithicAlongViewAxis) {
+  CompositeWorld w;
+  // Two slabs split along x; camera on +x looks straight down the split
+  // axis, so the regions are depth-separable and the composite must match
+  // the single-pass render closely.
+  std::vector<BlockId> near_slab, far_slab;
+  for (BlockId id = 0; id < w.grid.block_count(); ++id) {
+    if (w.grid.coord_of(id).bx >= 2) {
+      near_slab.push_back(id);  // x in [0,1]: closer to camera at +3x
+    } else {
+      far_slab.push_back(id);
+    }
+  }
+  std::vector<PartialRender> partials;
+  partials.push_back(
+      {raycast_blocks(w.camera, w.grid, far_slab, w.sampler, w.tf, w.params),
+       block_set_depth(w.camera, w.grid, far_slab)});
+  partials.push_back(
+      {raycast_blocks(w.camera, w.grid, near_slab, w.sampler, w.tf, w.params),
+       block_set_depth(w.camera, w.grid, near_slab)});
+  Image composite = composite_over(std::move(partials));
+  Image mono = raycast(w.camera, w.sampler, w.tf, w.params);
+
+  double max_err = 0.0;
+  for (usize y = 0; y < w.params.image_height; ++y) {
+    for (usize x = 0; x < w.params.image_width; ++x) {
+      max_err = std::max(
+          max_err, std::abs(static_cast<double>(composite.at(x, y).a) -
+                            static_cast<double>(mono.at(x, y).a)));
+    }
+  }
+  // Boundary voxels straddle the cut: allow a modest tolerance.
+  EXPECT_LT(max_err, 0.15);
+  EXPECT_NEAR(composite.coverage(), mono.coverage(), 0.05);
+}
+
+TEST(Compositor, DepthOrderingMatters) {
+  // A fully-opaque near layer must hide the far layer regardless of the
+  // order partials are supplied in.
+  Image red(4, 4, {1, 0, 0, 1});
+  Image blue(4, 4, {0, 0, 1, 1});
+  std::vector<PartialRender> a;
+  a.push_back({red, 1.0});   // near
+  a.push_back({blue, 5.0});  // far
+  Image out_a = composite_over(std::move(a));
+  EXPECT_FLOAT_EQ(out_a.at(0, 0).r, 1.0f);
+  EXPECT_FLOAT_EQ(out_a.at(0, 0).b, 0.0f);
+
+  std::vector<PartialRender> b;
+  b.push_back({blue, 5.0});
+  b.push_back({red, 1.0});
+  Image out_b = composite_over(std::move(b));
+  EXPECT_FLOAT_EQ(out_b.at(0, 0).r, 1.0f);
+  EXPECT_FLOAT_EQ(out_b.at(0, 0).b, 0.0f);
+}
+
+TEST(Compositor, TranslucentLayersAccumulate) {
+  Image half_red(2, 2, {0.5f, 0, 0, 0.5f});  // premultiplied-style half red
+  Image half_blue(2, 2, {0, 0, 0.5f, 0.5f});
+  std::vector<PartialRender> p;
+  p.push_back({half_red, 1.0});   // near
+  p.push_back({half_blue, 2.0});  // far
+  Image out = composite_over(std::move(p));
+  // red over blue: r = 0.5, b = 0.5 * (1 - 0.5) = 0.25, a = 0.75.
+  EXPECT_FLOAT_EQ(out.at(0, 0).r, 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 0).b, 0.25f);
+  EXPECT_FLOAT_EQ(out.at(0, 0).a, 0.75f);
+}
+
+TEST(Compositor, BlockSetDepth) {
+  CompositeWorld w;
+  std::vector<BlockId> near_block{w.grid.block_at_normalized({0.9, 0, 0})};
+  std::vector<BlockId> far_block{w.grid.block_at_normalized({-0.9, 0, 0})};
+  EXPECT_LT(block_set_depth(w.camera, w.grid, near_block),
+            block_set_depth(w.camera, w.grid, far_block));
+  EXPECT_TRUE(std::isinf(block_set_depth(w.camera, w.grid, {})));
+}
+
+TEST(Compositor, InvalidInputsThrow) {
+  CompositeWorld w;
+  std::vector<BlockId> bad{static_cast<BlockId>(w.grid.block_count())};
+  EXPECT_THROW(
+      raycast_blocks(w.camera, w.grid, bad, w.sampler, w.tf, w.params),
+      InvalidArgument);
+  EXPECT_THROW(composite_over({}), InvalidArgument);
+  std::vector<PartialRender> mismatched;
+  mismatched.push_back({Image(2, 2), 1.0});
+  mismatched.push_back({Image(3, 3), 2.0});
+  EXPECT_THROW(composite_over(std::move(mismatched)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

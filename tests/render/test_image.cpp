@@ -1,0 +1,90 @@
+#include "render/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  img.at(3, 2) = {1, 0.5f, 0, 1};
+  EXPECT_FLOAT_EQ(img.at(3, 2).r, 1.0f);
+  EXPECT_FLOAT_EQ(img.at(0, 0).a, 0.0f);
+}
+
+TEST(Image, CoverageCountsNonZeroAlpha) {
+  Image img(2, 2);
+  EXPECT_DOUBLE_EQ(img.coverage(), 0.0);
+  img.at(0, 0).a = 0.5f;
+  img.at(1, 1).a = 1.0f;
+  EXPECT_DOUBLE_EQ(img.coverage(), 0.5);
+}
+
+TEST(Image, MeanLuminanceWeights) {
+  Image img(1, 1);
+  img.at(0, 0) = {1, 1, 1, 1};
+  EXPECT_NEAR(img.mean_luminance(), 1.0, 1e-6);
+  img.at(0, 0) = {0, 1, 0, 1};
+  EXPECT_NEAR(img.mean_luminance(), 0.7152, 1e-6);
+}
+
+TEST(Image, WritePpmProducesValidHeaderAndSize) {
+  Image img(5, 4, {0.5f, 0.25f, 1.0f, 1.0f});
+  std::string path = (fs::temp_directory_path() / "vizcache_img.ppm").string();
+  img.write_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  usize w, h, maxval;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 5u);
+  EXPECT_EQ(h, 4u);
+  EXPECT_EQ(maxval, 255u);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(5 * 4 * 3);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(pixels.size()));
+  // First pixel: 0.5 -> 128, 0.25 -> 64, 1.0 -> 255.
+  EXPECT_EQ(static_cast<unsigned char>(pixels[0]), 128);
+  EXPECT_EQ(static_cast<unsigned char>(pixels[1]), 64);
+  EXPECT_EQ(static_cast<unsigned char>(pixels[2]), 255);
+  fs::remove(path);
+}
+
+TEST(Image, WritePpmClampsValues) {
+  Image img(1, 1, {2.0f, -1.0f, 0.0f, 1.0f});
+  std::string path = (fs::temp_directory_path() / "vizcache_img2.ppm").string();
+  img.write_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  std::getline(in, line);  // P6
+  std::getline(in, line);  // dims
+  std::getline(in, line);  // maxval
+  char px[3];
+  in.read(px, 3);
+  EXPECT_EQ(static_cast<unsigned char>(px[0]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(px[1]), 0);
+  fs::remove(path);
+}
+
+TEST(Image, BadPathThrows) {
+  Image img(1, 1);
+  EXPECT_THROW(img.write_ppm("/nonexistent_dir/x.ppm"), IoError);
+}
+
+TEST(Image, EmptyDimsThrow) {
+  EXPECT_THROW(Image(0, 5), InvalidArgument);
+  EXPECT_THROW(Image(5, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,124 @@
+#include "render/raycaster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "volume/generators.hpp"
+
+namespace vizcache {
+namespace {
+
+/// Full-volume sampler over the analytic ball.
+VolumeSampler ball_sampler() {
+  auto vol = std::make_shared<SyntheticVolume>(make_ball_volume({32, 32, 32}));
+  return [vol](const Vec3& p) -> std::optional<float> {
+    return vol->fn(p, 0, 0);
+  };
+}
+
+RaycastParams small_params() {
+  RaycastParams p;
+  p.image_width = 32;
+  p.image_height = 32;
+  p.step_size = 0.05;
+  return p;
+}
+
+TEST(Raycaster, BallProducesCenteredImage) {
+  Camera cam({3, 0, 0}, 40.0);
+  Image img = raycast(cam, ball_sampler(), TransferFunction::grayscale(),
+                      small_params());
+  // Center pixel passes through the dense core: opaque-ish.
+  EXPECT_GT(img.at(16, 16).a, 0.1f);
+  // Corner rays miss the volume entirely.
+  EXPECT_FLOAT_EQ(img.at(0, 0).a, 0.0f);
+  EXPECT_GT(img.coverage(), 0.05);
+  EXPECT_LT(img.coverage(), 0.9);
+}
+
+TEST(Raycaster, EmptySamplerGivesEmptyImage) {
+  Camera cam({3, 0, 0}, 40.0);
+  VolumeSampler none = [](const Vec3&) -> std::optional<float> {
+    return std::nullopt;
+  };
+  Image img = raycast(cam, none, TransferFunction::grayscale(), small_params());
+  EXPECT_DOUBLE_EQ(img.coverage(), 0.0);
+}
+
+TEST(Raycaster, NonResidentRegionsAreSkipped) {
+  // Only the x>0 half of the volume is "resident": the image still renders,
+  // with less accumulated opacity than the full volume.
+  auto vol = std::make_shared<SyntheticVolume>(make_ball_volume({32, 32, 32}));
+  VolumeSampler half = [vol](const Vec3& p) -> std::optional<float> {
+    if (p.x < 0.0) return std::nullopt;
+    return vol->fn(p, 0, 0);
+  };
+  Camera cam({3, 0, 0}, 40.0);
+  Image full = raycast(cam, ball_sampler(), TransferFunction::grayscale(),
+                       small_params());
+  Image partial =
+      raycast(cam, half, TransferFunction::grayscale(), small_params());
+  EXPECT_GT(partial.coverage(), 0.0);
+  EXPECT_LE(partial.at(16, 16).a, full.at(16, 16).a + 1e-5f);
+}
+
+TEST(Raycaster, ViewIndependentOfDirectionForSymmetricVolume) {
+  RaycastParams p = small_params();
+  Image a = raycast(Camera({3, 0, 0}, 40.0), ball_sampler(),
+                    TransferFunction::grayscale(), p);
+  Image b = raycast(Camera({0, 3, 0}, 40.0), ball_sampler(),
+                    TransferFunction::grayscale(), p);
+  EXPECT_NEAR(a.coverage(), b.coverage(), 0.08);
+}
+
+TEST(Raycaster, TransparentTransferFunctionYieldsNothing) {
+  TransferFunction clear({{0.0f, {0, 0, 0, 0}}, {1.0f, {1, 1, 1, 0}}});
+  Camera cam({3, 0, 0}, 40.0);
+  Image img = raycast(cam, ball_sampler(), clear, small_params());
+  EXPECT_DOUBLE_EQ(img.coverage(), 0.0);
+}
+
+TEST(Raycaster, ThreadPoolMatchesSerial) {
+  Camera cam({2.5, 1.0, 0.5}, 35.0);
+  RaycastParams p = small_params();
+  Image serial =
+      raycast(cam, ball_sampler(), TransferFunction::fire(), p, nullptr);
+  ThreadPool pool(4);
+  Image parallel =
+      raycast(cam, ball_sampler(), TransferFunction::fire(), p, &pool);
+  for (usize y = 0; y < p.image_height; ++y) {
+    for (usize x = 0; x < p.image_width; ++x) {
+      EXPECT_FLOAT_EQ(serial.at(x, y).r, parallel.at(x, y).r);
+      EXPECT_FLOAT_EQ(serial.at(x, y).a, parallel.at(x, y).a);
+    }
+  }
+}
+
+TEST(Raycaster, EarlyTerminationCapsAlpha) {
+  RaycastParams p = small_params();
+  p.early_termination = 0.5f;
+  TransferFunction opaque({{0.0f, {1, 1, 1, 0.9f}}, {1.0f, {1, 1, 1, 0.9f}}});
+  Camera cam({3, 0, 0}, 40.0);
+  Image img = raycast(cam, ball_sampler(), opaque, p);
+  // Accumulation stops shortly after crossing 0.5.
+  EXPECT_GE(img.at(16, 16).a, 0.5f);
+  EXPECT_LT(img.at(16, 16).a, 0.95f);
+}
+
+TEST(Raycaster, InvalidParamsThrow) {
+  Camera cam({3, 0, 0}, 40.0);
+  RaycastParams p = small_params();
+  p.step_size = 0.0;
+  EXPECT_THROW(
+      raycast(cam, ball_sampler(), TransferFunction::grayscale(), p),
+      InvalidArgument);
+  p = small_params();
+  p.value_min = 1.0f;
+  p.value_max = 0.0f;
+  EXPECT_THROW(
+      raycast(cam, ball_sampler(), TransferFunction::grayscale(), p),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,28 @@
+#include "render/render_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vizcache {
+namespace {
+
+TEST(RenderTimeModel, LinearInBlocks) {
+  RenderTimeModel m{1e-3, 2e-3};
+  EXPECT_DOUBLE_EQ(m.frame_time(0), 1e-3);
+  EXPECT_DOUBLE_EQ(m.frame_time(10), 1e-3 + 20e-3);
+}
+
+TEST(RenderTimeModel, GpuFasterThanCpu) {
+  EXPECT_LT(gpu_render_model().frame_time(100), cpu_render_model().frame_time(100));
+}
+
+TEST(RenderTimeModel, MonotoneInBlockCount) {
+  RenderTimeModel m = gpu_render_model();
+  double prev = m.frame_time(0);
+  for (usize b : {10u, 100u, 1000u}) {
+    EXPECT_GT(m.frame_time(b), prev);
+    prev = m.frame_time(b);
+  }
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,81 @@
+#include "render/transfer_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(TransferFunction, InterpolatesLinearly) {
+  TransferFunction tf({{0.0f, {0, 0, 0, 0}}, {1.0f, {1, 1, 1, 1}}});
+  Rgba mid = tf.sample(0.5f);
+  EXPECT_FLOAT_EQ(mid.r, 0.5f);
+  EXPECT_FLOAT_EQ(mid.a, 0.5f);
+  Rgba quarter = tf.sample(0.25f);
+  EXPECT_FLOAT_EQ(quarter.g, 0.25f);
+}
+
+TEST(TransferFunction, ClampsOutOfRange) {
+  TransferFunction tf({{0.2f, {1, 0, 0, 0.1f}}, {0.8f, {0, 1, 0, 0.9f}}});
+  EXPECT_FLOAT_EQ(tf.sample(-1.0f).r, 1.0f);
+  EXPECT_FLOAT_EQ(tf.sample(2.0f).g, 1.0f);
+  EXPECT_FLOAT_EQ(tf.sample(0.1f).r, 1.0f);  // below first point
+}
+
+TEST(TransferFunction, SortsControlPoints) {
+  TransferFunction tf({{0.9f, {1, 1, 1, 1}}, {0.1f, {0, 0, 0, 0}}});
+  EXPECT_LT(tf.points().front().value, tf.points().back().value);
+  EXPECT_LT(tf.sample(0.2f).r, tf.sample(0.8f).r);
+}
+
+TEST(TransferFunction, ExactControlPointValues) {
+  TransferFunction tf(
+      {{0.0f, {0, 0, 0, 0}}, {0.5f, {1, 0, 0, 0.5f}}, {1.0f, {0, 0, 1, 1}}});
+  Rgba at = tf.sample(0.5f);
+  EXPECT_FLOAT_EQ(at.r, 1.0f);
+  EXPECT_FLOAT_EQ(at.a, 0.5f);
+}
+
+TEST(TransferFunction, ScaleOpacityClamps) {
+  TransferFunction tf = TransferFunction::grayscale();
+  tf.scale_opacity(10.0f);
+  for (const auto& p : tf.points()) {
+    EXPECT_LE(p.color.a, 1.0f);
+  }
+  tf.scale_opacity(0.0f);
+  for (const auto& p : tf.points()) {
+    EXPECT_FLOAT_EQ(p.color.a, 0.0f);
+  }
+}
+
+TEST(TransferFunction, PresetsAreValid) {
+  for (const TransferFunction& tf :
+       {TransferFunction::grayscale(), TransferFunction::fire(),
+        TransferFunction::cool_warm()}) {
+    EXPECT_GE(tf.points().size(), 2u);
+    // Opacity generally grows toward the high end for these presets.
+    EXPECT_GT(tf.sample(1.0f).a, tf.sample(0.0f).a);
+  }
+}
+
+TEST(TransferFunction, IsoBandIsolatesRange) {
+  TransferFunction tf =
+      TransferFunction::iso_band(0.4f, 0.6f, {1, 0, 0, 0.8f});
+  EXPECT_FLOAT_EQ(tf.sample(0.5f).a, 0.8f);
+  EXPECT_FLOAT_EQ(tf.sample(0.1f).a, 0.0f);
+  EXPECT_FLOAT_EQ(tf.sample(0.9f).a, 0.0f);
+}
+
+TEST(TransferFunction, IsoBandRejectsInvertedRange) {
+  EXPECT_THROW(TransferFunction::iso_band(0.6f, 0.4f, {1, 0, 0, 1}),
+               InvalidArgument);
+}
+
+TEST(TransferFunction, EmptyPointsThrow) {
+  EXPECT_THROW(TransferFunction(std::vector<TransferFunction::ControlPoint>{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

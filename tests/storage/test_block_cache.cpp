@@ -1,0 +1,199 @@
+#include "storage/block_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+/// Cache of `blocks` uniform 100-byte blocks with an LRU policy.
+BlockCache make_cache(usize blocks, PolicyKind kind = PolicyKind::kLru) {
+  return BlockCache(blocks * 100, make_policy(kind, blocks),
+                    [](BlockId) -> u64 { return 100; });
+}
+
+TEST(BlockCache, InsertAndContains) {
+  BlockCache c = make_cache(4);
+  EXPECT_FALSE(c.contains(1));
+  auto r = c.insert(1, 1);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_EQ(c.resident_count(), 1u);
+  EXPECT_EQ(c.occupancy_bytes(), 100u);
+}
+
+TEST(BlockCache, EvictsWhenFull) {
+  BlockCache c = make_cache(2);
+  c.insert(1, 1);
+  c.insert(2, 1);
+  auto r = c.insert(3, 2);  // step 2: blocks from step 1 are evictable
+  EXPECT_TRUE(r.inserted);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0], 1u);  // LRU order
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(BlockCache, PerStepProtectionBypasses) {
+  // Algorithm 1: blocks used at the current step may not be replaced.
+  BlockCache c = make_cache(2);
+  c.insert(1, 5);
+  c.insert(2, 5);
+  auto r = c.insert(3, 5);  // every resident block has time == 5
+  EXPECT_FALSE(r.inserted);
+  EXPECT_TRUE(r.bypassed);
+  EXPECT_EQ(c.stats().bypasses, 1u);
+  EXPECT_FALSE(c.contains(3));
+  // At the next step the same insert succeeds.
+  auto r2 = c.insert(3, 6);
+  EXPECT_TRUE(r2.inserted);
+}
+
+TEST(BlockCache, TouchRefreshesProtection) {
+  BlockCache c = make_cache(2);
+  c.insert(1, 1);
+  c.insert(2, 1);
+  c.touch(1, 3);  // block 1 now used at step 3
+  auto r = c.insert(3, 3);
+  ASSERT_TRUE(r.inserted);
+  EXPECT_EQ(r.evicted[0], 2u);  // 2 is the only unprotected block
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(BlockCache, InsertResidentDegeneratesToTouch) {
+  BlockCache c = make_cache(2);
+  c.insert(1, 1);
+  auto r = c.insert(1, 2);
+  EXPECT_FALSE(r.inserted);
+  EXPECT_FALSE(r.bypassed);
+  EXPECT_EQ(c.last_use(1), 2u);
+  EXPECT_EQ(c.resident_count(), 1u);
+}
+
+TEST(BlockCache, OversizedBlockBypassed) {
+  BlockCache c(150, make_policy(PolicyKind::kLru, 1),
+               [](BlockId id) -> u64 { return id == 9 ? 200 : 100; });
+  auto r = c.insert(9, 1);
+  EXPECT_TRUE(r.bypassed);
+  EXPECT_TRUE(c.insert(1, 1).inserted);
+}
+
+TEST(BlockCache, VariableSizedBlocksEvictUntilFit) {
+  // 100-byte capacity; three 40-byte blocks resident; an 80-byte insert
+  // must evict two.
+  BlockCache c(120, make_policy(PolicyKind::kLru, 3),
+               [](BlockId id) -> u64 { return id < 10 ? 40 : 80; });
+  c.insert(1, 1);
+  c.insert(2, 1);
+  c.insert(3, 1);
+  auto r = c.insert(10, 2);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_EQ(r.evicted.size(), 2u);
+  EXPECT_LE(c.occupancy_bytes(), 120u);
+}
+
+TEST(BlockCache, LastUseTracksSteps) {
+  BlockCache c = make_cache(4);
+  c.insert(7, 3);
+  EXPECT_EQ(c.last_use(7), 3u);
+  c.touch(7, 9);
+  EXPECT_EQ(c.last_use(7), 9u);
+  EXPECT_THROW(c.last_use(8), InvalidArgument);
+}
+
+TEST(BlockCache, EraseRemoves) {
+  BlockCache c = make_cache(4);
+  c.insert(1, 1);
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.erase(1));
+  EXPECT_EQ(c.occupancy_bytes(), 0u);
+}
+
+TEST(BlockCache, StatsCount) {
+  BlockCache c = make_cache(2);
+  c.insert(1, 1);
+  c.insert(2, 1);
+  c.insert(3, 2);
+  EXPECT_EQ(c.stats().insertions, 3u);
+  EXPECT_EQ(c.stats().evictions, 1u);
+  c.note_hit();
+  c.note_miss();
+  EXPECT_EQ(c.stats().lookups(), 2u);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().insertions, 0u);
+}
+
+TEST(BlockCache, ClearDropsEverythingKeepsWorking) {
+  BlockCache c = make_cache(2);
+  c.insert(1, 1);
+  c.insert(2, 1);
+  c.clear();
+  EXPECT_EQ(c.resident_count(), 0u);
+  EXPECT_EQ(c.occupancy_bytes(), 0u);
+  EXPECT_TRUE(c.insert(1, 1).inserted);
+}
+
+TEST(BlockCache, ResidentBlocksEnumerates) {
+  BlockCache c = make_cache(4);
+  c.insert(3, 1);
+  c.insert(1, 1);
+  auto blocks = c.resident_blocks();
+  std::sort(blocks.begin(), blocks.end());
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], 1u);
+  EXPECT_EQ(blocks[1], 3u);
+}
+
+TEST(BlockCache, TouchNonResidentThrows) {
+  BlockCache c = make_cache(2);
+  EXPECT_THROW(c.touch(1, 1), InvalidArgument);
+}
+
+TEST(BlockCache, InvalidConstructionThrows) {
+  EXPECT_THROW(BlockCache(0, make_policy(PolicyKind::kLru, 1),
+                          [](BlockId) -> u64 { return 1; }),
+               InvalidArgument);
+  EXPECT_THROW(BlockCache(100, nullptr, [](BlockId) -> u64 { return 1; }),
+               InvalidArgument);
+  EXPECT_THROW(BlockCache(100, make_policy(PolicyKind::kLru, 1), nullptr),
+               InvalidArgument);
+}
+
+/// The protected-LRU behaviour under every policy: no policy may evict a
+/// block whose last use is the current step.
+class CacheProtectionTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(CacheProtectionTest, NeverEvictsCurrentStepBlocks) {
+  BlockCache c(300, make_policy(GetParam(), 3),
+               [](BlockId) -> u64 { return 100; });
+  for (u64 step = 1; step <= 20; ++step) {
+    // Three blocks per step; the cache holds exactly three.
+    BlockId base = static_cast<BlockId>(step * 10);
+    for (BlockId off = 0; off < 3; ++off) {
+      c.insert(base + off, step);
+      for (BlockId check = 0; check <= off; ++check) {
+        EXPECT_TRUE(c.contains(base + check))
+            << "policy evicted a same-step block at step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, CacheProtectionTest,
+                         ::testing::Values(PolicyKind::kFifo, PolicyKind::kLru,
+                                           PolicyKind::kMru, PolicyKind::kClock,
+                                           PolicyKind::kLfu, PolicyKind::kArc,
+                                           PolicyKind::kTwoQ),
+                         [](const auto& param_info) {
+                           std::string n = policy_kind_name(param_info.param);
+                           if (n == "2Q") n = "TwoQ";
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace vizcache

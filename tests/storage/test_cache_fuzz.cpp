@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "storage/block_cache.hpp"
+#include "util/rng.hpp"
+
+namespace vizcache {
+namespace {
+
+/// Randomized operation sequences against every policy, checking the cache
+/// invariants a replacement policy must never break:
+///   - occupancy equals the sum of resident block sizes
+///   - occupancy never exceeds capacity
+///   - a block used at the current step is never evicted by a same-step
+///     insert
+///   - the policy's internal bookkeeping stays consistent (no crashes,
+///     victims always resident)
+class CacheFuzzTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(CacheFuzzTest, InvariantsHoldUnderRandomOps) {
+  // Variable block sizes exercise multi-victim evictions.
+  auto size_of = [](BlockId id) -> u64 { return 50 + (id % 7) * 25; };
+  const u64 capacity = 1200;
+  BlockCache cache(capacity, make_policy(GetParam(), 16), size_of);
+
+  Rng rng(static_cast<u64>(GetParam()) * 7919 + 1);
+  std::map<BlockId, u64> model;  // id -> last step (reference model)
+  u64 step = 1;
+
+  for (int op = 0; op < 5000; ++op) {
+    double dice = rng.next_double();
+    BlockId id = static_cast<BlockId>(rng.next_below(64));
+
+    if (dice < 0.06) {
+      ++step;  // advance the interaction step
+    } else if (dice < 0.66) {
+      // Insert (or touch if resident).
+      std::set<BlockId> same_step_before;
+      for (const auto& [b, s] : model) {
+        if (s == step) same_step_before.insert(b);
+      }
+      auto result = cache.insert(id, step);
+      if (result.inserted) {
+        model[id] = step;
+        for (BlockId v : result.evicted) {
+          ASSERT_TRUE(model.count(v)) << "evicted non-resident block";
+          ASSERT_LT(model[v], step) << "evicted a protected block";
+          ASSERT_FALSE(same_step_before.count(v));
+          model.erase(v);
+        }
+      } else if (!result.bypassed) {
+        // Resident: degenerated to touch.
+        ASSERT_TRUE(model.count(id));
+        model[id] = step;
+      }
+    } else if (dice < 0.86) {
+      // Touch if resident.
+      if (model.count(id)) {
+        cache.touch(id, step);
+        model[id] = step;
+      }
+    } else {
+      // Erase.
+      bool was_resident = model.count(id) > 0;
+      EXPECT_EQ(cache.erase(id), was_resident);
+      model.erase(id);
+    }
+
+    // Invariants after every operation.
+    u64 expected_occupancy = 0;
+    for (const auto& [b, _] : model) expected_occupancy += size_of(b);
+    ASSERT_EQ(cache.occupancy_bytes(), expected_occupancy) << "op " << op;
+    ASSERT_LE(cache.occupancy_bytes(), capacity);
+    ASSERT_EQ(cache.resident_count(), model.size());
+    for (const auto& [b, s] : model) {
+      ASSERT_TRUE(cache.contains(b));
+      ASSERT_EQ(cache.last_use(b), s);
+    }
+  }
+  // The cache must have actually exercised eviction.
+  EXPECT_GT(cache.stats().evictions, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, CacheFuzzTest,
+                         ::testing::Values(PolicyKind::kFifo, PolicyKind::kLru,
+                                           PolicyKind::kMru, PolicyKind::kClock,
+                                           PolicyKind::kLfu, PolicyKind::kArc,
+                                           PolicyKind::kTwoQ),
+                         [](const auto& param_info) {
+                           std::string n = policy_kind_name(param_info.param);
+                           if (n == "2Q") n = "TwoQ";
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,52 @@
+#include "storage/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(DeviceModel, TransferTimeIsLatencyPlusBandwidth) {
+  DeviceModel d{"test", 1e-3, 100e6};
+  EXPECT_DOUBLE_EQ(d.transfer_time(0), 1e-3);
+  EXPECT_DOUBLE_EQ(d.transfer_time(100'000'000), 1e-3 + 1.0);
+}
+
+TEST(DeviceModel, PresetsOrderedBySpeed) {
+  // For a typical 1 MiB block, DRAM < NVMe < SSD < HDD.
+  u64 bytes = kMiB;
+  double dram = dram_device().transfer_time(bytes);
+  double nvme = nvme_device().transfer_time(bytes);
+  double ssd = ssd_device().transfer_time(bytes);
+  double hdd = hdd_device().transfer_time(bytes);
+  EXPECT_LT(dram, nvme);
+  EXPECT_LT(nvme, ssd);
+  EXPECT_LT(ssd, hdd);
+}
+
+TEST(DeviceModel, HddSeekDominatesSmallReads) {
+  // An 8 ms seek dwarfs the transfer of a 4 KiB block.
+  double t = hdd_device().transfer_time(4 * kKiB);
+  EXPECT_NEAR(t, 8e-3, 1e-3);
+}
+
+TEST(DeviceModel, TimeMonotonicInBytes) {
+  DeviceModel d = ssd_device();
+  double prev = d.transfer_time(0);
+  for (u64 b = kKiB; b <= 64 * kMiB; b *= 4) {
+    double t = d.transfer_time(b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(DeviceModel, PresetNames) {
+  EXPECT_EQ(dram_device().name, "DRAM");
+  EXPECT_EQ(ssd_device().name, "SSD");
+  EXPECT_EQ(hdd_device().name, "HDD");
+  EXPECT_EQ(nvme_device().name, "NVMe");
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,173 @@
+#include "storage/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vizcache {
+namespace {
+
+constexpr u64 kBlock = 1000;  // uniform block size in bytes
+
+MemoryHierarchy make_two_level(u64 dram_blocks, u64 ssd_blocks,
+                               PolicyKind policy = PolicyKind::kLru) {
+  std::vector<LevelSpec> specs{
+      {"DRAM", dram_device(), dram_blocks * kBlock, policy},
+      {"SSD", ssd_device(), ssd_blocks * kBlock, policy},
+  };
+  return MemoryHierarchy(std::move(specs), hdd_device(),
+                         [](BlockId) -> u64 { return kBlock; });
+}
+
+TEST(Hierarchy, ColdFetchComesFromBacking) {
+  MemoryHierarchy h = make_two_level(2, 4);
+  SimSeconds t = h.fetch(1, 1);
+  EXPECT_DOUBLE_EQ(t, hdd_device().transfer_time(kBlock));
+  EXPECT_EQ(h.stats().backing_reads, 1u);
+  EXPECT_EQ(h.stats().backing_bytes, kBlock);
+  // Promoted into both cache levels.
+  EXPECT_TRUE(h.cache(0).contains(1));
+  EXPECT_TRUE(h.cache(1).contains(1));
+}
+
+TEST(Hierarchy, SecondFetchIsFastHit) {
+  MemoryHierarchy h = make_two_level(2, 4);
+  h.fetch(1, 1);
+  SimSeconds t = h.fetch(1, 2);
+  EXPECT_DOUBLE_EQ(t, dram_device().transfer_time(kBlock));
+  EXPECT_EQ(h.stats().level[0].hits, 1u);
+  EXPECT_EQ(h.stats().level[0].misses, 1u);
+}
+
+TEST(Hierarchy, EvictedFromDramServedBySsd) {
+  MemoryHierarchy h = make_two_level(1, 4);
+  h.fetch(1, 1);
+  h.fetch(2, 2);  // evicts 1 from DRAM; SSD still holds both
+  EXPECT_FALSE(h.cache(0).contains(1));
+  EXPECT_TRUE(h.cache(1).contains(1));
+  SimSeconds t = h.fetch(1, 3);
+  EXPECT_DOUBLE_EQ(t, ssd_device().transfer_time(kBlock));
+  EXPECT_EQ(h.stats().backing_reads, 2u);  // no third HDD read
+}
+
+TEST(Hierarchy, MissRatesAccumulate) {
+  MemoryHierarchy h = make_two_level(1, 2);
+  h.fetch(1, 1);  // miss DRAM, miss SSD
+  h.fetch(1, 2);  // hit DRAM
+  h.fetch(2, 3);  // miss both
+  h.fetch(1, 4);  // DRAM evicted 1? no: fetching 2 at step 3 evicted 1.
+  const HierarchyStats& s = h.stats();
+  EXPECT_EQ(s.demand_requests, 4u);
+  EXPECT_GT(s.fast_miss_rate(), 0.0);
+  EXPECT_LE(s.fast_miss_rate(), 1.0);
+  EXPECT_GT(s.total_miss_rate(), 0.0);
+}
+
+TEST(Hierarchy, PrefetchMovesWithoutDemandCounters) {
+  MemoryHierarchy h = make_two_level(2, 4);
+  SimSeconds t = h.prefetch(1, 1);
+  EXPECT_GT(t, 0.0);
+  EXPECT_TRUE(h.cache(0).contains(1));
+  EXPECT_EQ(h.stats().demand_requests, 0u);
+  EXPECT_EQ(h.stats().prefetch_requests, 1u);
+  EXPECT_DOUBLE_EQ(h.stats().demand_io_time, 0.0);
+  EXPECT_GT(h.stats().prefetch_time, 0.0);
+  // Level stats carry no demand lookups from the prefetch.
+  EXPECT_EQ(h.stats().level[0].lookups(), 0u);
+  // A later demand fetch of the prefetched block is a pure DRAM hit.
+  SimSeconds t2 = h.fetch(1, 2);
+  EXPECT_DOUBLE_EQ(t2, dram_device().transfer_time(kBlock));
+}
+
+TEST(Hierarchy, PrefetchOfResidentBlockIsFree) {
+  MemoryHierarchy h = make_two_level(2, 4);
+  h.fetch(1, 1);
+  EXPECT_DOUBLE_EQ(h.prefetch(1, 1), 0.0);
+  EXPECT_EQ(h.stats().prefetch_requests, 0u);
+}
+
+TEST(Hierarchy, PreloadChargesNothing) {
+  MemoryHierarchy h = make_two_level(2, 4);
+  h.preload(3);
+  EXPECT_TRUE(h.cache(0).contains(3));
+  EXPECT_TRUE(h.cache(1).contains(3));
+  EXPECT_DOUBLE_EQ(h.stats().demand_io_time, 0.0);
+  EXPECT_DOUBLE_EQ(h.stats().prefetch_time, 0.0);
+  EXPECT_EQ(h.stats().demand_requests, 0u);
+}
+
+TEST(Hierarchy, ResetClearsCachesAndStats) {
+  MemoryHierarchy h = make_two_level(2, 4);
+  h.fetch(1, 1);
+  h.reset();
+  EXPECT_FALSE(h.cache(0).contains(1));
+  EXPECT_EQ(h.stats().demand_requests, 0u);
+  EXPECT_EQ(h.stats().backing_reads, 0u);
+  // Usable after reset.
+  h.fetch(2, 1);
+  EXPECT_TRUE(h.cache(0).contains(2));
+}
+
+TEST(Hierarchy, PaperTestbedCapacities) {
+  u64 dataset = 100 * kBlock;
+  MemoryHierarchy h = MemoryHierarchy::paper_testbed(
+      dataset, 0.5, PolicyKind::kLru, [](BlockId) -> u64 { return kBlock; });
+  EXPECT_EQ(h.level_count(), 2u);
+  EXPECT_EQ(h.level_name(0), "DRAM");
+  EXPECT_EQ(h.level_name(1), "SSD");
+  // SSD = 50% of dataset, DRAM = 25%.
+  EXPECT_EQ(h.cache(1).capacity_bytes(), 50 * kBlock);
+  EXPECT_EQ(h.cache(0).capacity_bytes(), 25 * kBlock);
+}
+
+TEST(Hierarchy, PaperTestbedRatio07) {
+  u64 dataset = 100 * kBlock;
+  MemoryHierarchy h = MemoryHierarchy::paper_testbed(
+      dataset, 0.7, PolicyKind::kLru, [](BlockId) -> u64 { return kBlock; });
+  EXPECT_EQ(h.cache(1).capacity_bytes(), 70 * kBlock);
+  EXPECT_EQ(h.cache(0).capacity_bytes(), 49 * kBlock);
+}
+
+TEST(Hierarchy, FastMissRateDefinition) {
+  MemoryHierarchy h = make_two_level(10, 20);
+  h.fetch(1, 1);
+  h.fetch(2, 1);
+  h.fetch(1, 2);
+  h.fetch(2, 2);
+  // 2 misses, 2 hits at DRAM.
+  EXPECT_DOUBLE_EQ(h.stats().fast_miss_rate(), 0.5);
+}
+
+TEST(Hierarchy, InvalidConstruction) {
+  EXPECT_THROW(MemoryHierarchy({}, hdd_device(),
+                               [](BlockId) -> u64 { return 1; }),
+               InvalidArgument);
+  EXPECT_THROW(MemoryHierarchy::paper_testbed(0, 0.5, PolicyKind::kLru,
+                                              [](BlockId) -> u64 { return 1; }),
+               InvalidArgument);
+  EXPECT_THROW(MemoryHierarchy::paper_testbed(100, 1.5, PolicyKind::kLru,
+                                              [](BlockId) -> u64 { return 1; }),
+               InvalidArgument);
+}
+
+TEST(Hierarchy, ThreeLevelStack) {
+  std::vector<LevelSpec> specs{
+      {"DRAM", dram_device(), 1 * kBlock, PolicyKind::kLru},
+      {"NVMe", nvme_device(), 2 * kBlock, PolicyKind::kLru},
+      {"SSD", ssd_device(), 4 * kBlock, PolicyKind::kLru},
+  };
+  MemoryHierarchy h(std::move(specs), hdd_device(),
+                    [](BlockId) -> u64 { return kBlock; });
+  EXPECT_EQ(h.level_count(), 3u);
+  h.fetch(1, 1);
+  h.fetch(2, 2);   // evicts 1 from DRAM (cap 1)
+  h.fetch(3, 3);   // evicts 2 from DRAM, 1..3 flow through NVMe/SSD
+  // 1 fell out of DRAM and possibly NVMe, but SSD (cap 4) retains it.
+  EXPECT_TRUE(h.cache(2).contains(1));
+  SimSeconds t = h.fetch(1, 4);
+  EXPECT_LE(t, ssd_device().transfer_time(kBlock));
+}
+
+}  // namespace
+}  // namespace vizcache

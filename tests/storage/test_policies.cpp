@@ -1,0 +1,241 @@
+#include "storage/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vizcache {
+namespace {
+
+EvictablePredicate always() {
+  return [](BlockId) { return true; };
+}
+
+/// Behavioural contract every policy must satisfy, exercised over the whole
+/// zoo via TEST_P (the Belady oracle is covered separately since it needs a
+/// trace).
+class PolicyContractTest : public ::testing::TestWithParam<PolicyKind> {
+ protected:
+  std::unique_ptr<ReplacementPolicy> make() {
+    return make_policy(GetParam(), 16);
+  }
+};
+
+TEST_P(PolicyContractTest, VictimIsResident) {
+  auto p = make();
+  std::set<BlockId> resident;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    BlockId id = static_cast<BlockId>(rng.next_below(64));
+    if (resident.count(id)) {
+      p->on_access(id);
+    } else {
+      p->on_insert(id);
+      resident.insert(id);
+    }
+    if (resident.size() > 16) {
+      BlockId v = p->choose_victim(always());
+      ASSERT_NE(v, kInvalidBlock);
+      ASSERT_TRUE(resident.count(v)) << "victim not resident";
+      p->on_evict(v);
+      resident.erase(v);
+    }
+  }
+}
+
+TEST_P(PolicyContractTest, EmptyPolicyHasNoVictim) {
+  auto p = make();
+  EXPECT_EQ(p->choose_victim(always()), kInvalidBlock);
+}
+
+TEST_P(PolicyContractTest, RespectsEvictablePredicate) {
+  auto p = make();
+  for (BlockId id = 0; id < 8; ++id) p->on_insert(id);
+  // Only odd ids may be evicted.
+  auto odd_only = [](BlockId id) { return id % 2 == 1; };
+  for (int i = 0; i < 20; ++i) {
+    BlockId v = p->choose_victim(odd_only);
+    ASSERT_NE(v, kInvalidBlock);
+    EXPECT_EQ(v % 2, 1u);
+  }
+}
+
+TEST_P(PolicyContractTest, AllProtectedMeansNoVictim) {
+  auto p = make();
+  for (BlockId id = 0; id < 4; ++id) p->on_insert(id);
+  EXPECT_EQ(p->choose_victim([](BlockId) { return false; }), kInvalidBlock);
+}
+
+TEST_P(PolicyContractTest, ResetForgetsEverything) {
+  auto p = make();
+  for (BlockId id = 0; id < 4; ++id) p->on_insert(id);
+  p->reset();
+  EXPECT_EQ(p->choose_victim(always()), kInvalidBlock);
+  // Reinsertion after reset must not trip duplicate detection.
+  p->on_insert(1);
+  EXPECT_EQ(p->choose_victim(always()), 1u);
+}
+
+TEST_P(PolicyContractTest, DuplicateInsertThrows) {
+  auto p = make();
+  p->on_insert(5);
+  EXPECT_THROW(p->on_insert(5), VizError);
+}
+
+TEST_P(PolicyContractTest, EvictUnknownThrows) {
+  auto p = make();
+  EXPECT_THROW(p->on_evict(99), VizError);
+}
+
+TEST_P(PolicyContractTest, AccessUnknownThrows) {
+  auto p = make();
+  EXPECT_THROW(p->on_access(99), VizError);
+}
+
+TEST_P(PolicyContractTest, NameIsNonEmpty) {
+  EXPECT_FALSE(make()->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PolicyContractTest,
+                         ::testing::Values(PolicyKind::kFifo, PolicyKind::kLru,
+                                           PolicyKind::kMru, PolicyKind::kClock,
+                                           PolicyKind::kLfu, PolicyKind::kArc,
+                                           PolicyKind::kTwoQ),
+                         [](const auto& param_info) {
+                           std::string n = policy_kind_name(param_info.param);
+                           if (n == "2Q") n = "TwoQ";
+                           return n;
+                         });
+
+TEST(FifoPolicy, EvictsInInsertionOrderIgnoringAccesses) {
+  auto p = make_policy(PolicyKind::kFifo, 8);
+  p->on_insert(1);
+  p->on_insert(2);
+  p->on_insert(3);
+  p->on_access(1);  // must not rescue 1
+  EXPECT_EQ(p->choose_victim(always()), 1u);
+  p->on_evict(1);
+  EXPECT_EQ(p->choose_victim(always()), 2u);
+}
+
+TEST(LruPolicy, AccessRescuesBlock) {
+  auto p = make_policy(PolicyKind::kLru, 8);
+  p->on_insert(1);
+  p->on_insert(2);
+  p->on_insert(3);
+  p->on_access(1);  // order now 2, 3, 1
+  EXPECT_EQ(p->choose_victim(always()), 2u);
+  p->on_evict(2);
+  EXPECT_EQ(p->choose_victim(always()), 3u);
+}
+
+TEST(MruPolicy, EvictsHottest) {
+  auto p = make_policy(PolicyKind::kMru, 8);
+  p->on_insert(1);
+  p->on_insert(2);
+  p->on_access(1);
+  EXPECT_EQ(p->choose_victim(always()), 1u);
+}
+
+TEST(ClockPolicy, SecondChanceForReferenced) {
+  auto p = make_policy(PolicyKind::kClock, 8);
+  p->on_insert(1);
+  p->on_insert(2);
+  p->on_insert(3);
+  // All have their reference bit set at insert; one full sweep clears them,
+  // so SOME block is eventually chosen — and choosing is deterministic.
+  BlockId v1 = p->choose_victim(always());
+  ASSERT_NE(v1, kInvalidBlock);
+  BlockId v2 = p->choose_victim(always());
+  EXPECT_EQ(v1, v2);  // no state change between calls
+}
+
+TEST(LfuPolicy, EvictsLeastFrequent) {
+  auto p = make_policy(PolicyKind::kLfu, 8);
+  p->on_insert(1);
+  p->on_insert(2);
+  p->on_insert(3);
+  p->on_access(1);
+  p->on_access(1);
+  p->on_access(2);
+  EXPECT_EQ(p->choose_victim(always()), 3u);  // freq 1
+  p->on_evict(3);
+  EXPECT_EQ(p->choose_victim(always()), 2u);  // freq 2
+}
+
+TEST(LfuPolicy, TieBrokenByRecency) {
+  auto p = make_policy(PolicyKind::kLfu, 8);
+  p->on_insert(1);
+  p->on_insert(2);  // both freq 1; 1 is older
+  EXPECT_EQ(p->choose_victim(always()), 1u);
+}
+
+TEST(ArcPolicy, PromotesRepeatedAccesses) {
+  auto p = make_policy(PolicyKind::kArc, 4);
+  p->on_insert(1);  // T1
+  p->on_insert(2);  // T1
+  p->on_access(1);  // 1 -> T2
+  // T1 is preferred for eviction while it exceeds target p (p starts 0).
+  EXPECT_EQ(p->choose_victim(always()), 2u);
+}
+
+TEST(ArcPolicy, GhostHitAdjustsAdmission) {
+  auto p = make_policy(PolicyKind::kArc, 4);
+  p->on_insert(7);
+  p->on_evict(7);   // 7 -> ghost B1
+  p->on_insert(7);  // ghost hit: re-admitted straight to T2, target p grows
+  p->on_insert(8);  // plain insert: T1
+  // With p grown to favor recency, ARC's REPLACE rule takes the victim from
+  // T2 (|T1| <= p); either way the victim must be resident and stable.
+  BlockId v = p->choose_victim(always());
+  EXPECT_EQ(v, 7u);
+  EXPECT_EQ(p->choose_victim(always()), v);
+}
+
+TEST(TwoQPolicy, ReFetchAfterGhostPromotes) {
+  auto p = make_policy(PolicyKind::kTwoQ, 8);
+  p->on_insert(1);
+  p->on_evict(1);   // 1 -> A1out ghost
+  p->on_insert(1);  // promoted to Am
+  p->on_insert(2);  // probation A1in
+  // Am is protected relative to A1in overflow handling; with A1in under its
+  // cap the victim comes from Am-or-A1in per occupancy rule, but a
+  // practical assertion: both resident blocks are reachable as victims.
+  BlockId v = p->choose_victim(always());
+  EXPECT_TRUE(v == 1u || v == 2u);
+}
+
+TEST(TwoQPolicy, A1inOverflowEvictsFromProbation) {
+  auto p = make_policy(PolicyKind::kTwoQ, 8);  // Kin = 2
+  p->on_insert(1);
+  p->on_insert(2);
+  p->on_insert(3);  // A1in size 3 > Kin 2
+  BlockId v = p->choose_victim(always());
+  EXPECT_EQ(v, 1u);  // FIFO from probation
+}
+
+TEST(PolicyFactory, NamesRoundTrip) {
+  for (PolicyKind kind :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kMru,
+        PolicyKind::kClock, PolicyKind::kLfu, PolicyKind::kArc,
+        PolicyKind::kTwoQ, PolicyKind::kBelady}) {
+    EXPECT_EQ(parse_policy_kind(policy_kind_name(kind)), kind);
+  }
+}
+
+TEST(PolicyFactory, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_policy_kind("LrU"), PolicyKind::kLru);
+  EXPECT_EQ(parse_policy_kind("twoq"), PolicyKind::kTwoQ);
+  EXPECT_EQ(parse_policy_kind("min"), PolicyKind::kBelady);
+}
+
+TEST(PolicyFactory, RejectsUnknownNames) {
+  EXPECT_THROW(parse_policy_kind("quantum"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,74 @@
+#include "storage/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Trace, RecordsInOrder) {
+  TraceRecorder t;
+  t.record(1, 10);
+  t.record(1, 11);
+  t.record(2, 10);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.accesses()[0].step, 1u);
+  EXPECT_EQ(t.accesses()[2].id, 10u);
+}
+
+TEST(Trace, IdSequence) {
+  TraceRecorder t;
+  t.record(1, 5);
+  t.record(2, 3);
+  auto seq = t.id_sequence();
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq[0], 5u);
+  EXPECT_EQ(seq[1], 3u);
+}
+
+TEST(Trace, UniqueBlocks) {
+  TraceRecorder t;
+  t.record(1, 5);
+  t.record(2, 5);
+  t.record(3, 7);
+  EXPECT_EQ(t.unique_blocks(), 2u);
+}
+
+TEST(Trace, ClearEmpties) {
+  TraceRecorder t;
+  t.record(1, 1);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  TraceRecorder t;
+  for (u64 i = 0; i < 50; ++i) t.record(i / 5, static_cast<BlockId>(i * 3));
+  std::string path =
+      (fs::temp_directory_path() / "vizcache_trace_test.csv").string();
+  t.save(path);
+  TraceRecorder loaded = TraceRecorder::load(path);
+  ASSERT_EQ(loaded.size(), t.size());
+  for (usize i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(loaded.accesses()[i].step, t.accesses()[i].step);
+    EXPECT_EQ(loaded.accesses()[i].id, t.accesses()[i].id);
+  }
+  fs::remove(path);
+}
+
+TEST(Trace, LoadMissingFileThrows) {
+  EXPECT_THROW(TraceRecorder::load("/nonexistent/trace.csv"), IoError);
+}
+
+TEST(Trace, SaveToBadPathThrows) {
+  TraceRecorder t;
+  EXPECT_THROW(t.save("/nonexistent_dir/trace.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace vizcache

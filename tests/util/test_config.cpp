@@ -1,0 +1,83 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vizcache {
+namespace {
+
+Config parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, ParsesKeyValues) {
+  Config c = parse({"blocks=2048", "name=ball"});
+  EXPECT_TRUE(c.has("blocks"));
+  EXPECT_EQ(c.get_int("blocks", 0), 2048);
+  EXPECT_EQ(c.get_string("name", ""), "ball");
+}
+
+TEST(Config, CollectsPositionals) {
+  Config c = parse({"run", "x=1", "fast"});
+  ASSERT_EQ(c.positionals().size(), 2u);
+  EXPECT_EQ(c.positionals()[0], "run");
+  EXPECT_EQ(c.positionals()[1], "fast");
+}
+
+TEST(Config, Fallbacks) {
+  Config c = parse({});
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(c.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(c.get_bool("missing", true));
+}
+
+TEST(Config, ParsesDoubles) {
+  Config c = parse({"ratio=0.7"});
+  EXPECT_DOUBLE_EQ(c.get_double("ratio", 0.0), 0.7);
+}
+
+TEST(Config, ParsesBooleans) {
+  Config c = parse({"a=true", "b=0", "c=YES", "d=off"});
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+}
+
+TEST(Config, ParsesByteSizes) {
+  Config c = parse({"cache=512M"});
+  EXPECT_EQ(c.get_bytes("cache", 0), 512 * kMiB);
+}
+
+TEST(Config, BadValuesThrow) {
+  Config c = parse({"n=abc", "f=xyz", "b=maybe"});
+  EXPECT_THROW(c.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW(c.get_double("f", 0.0), InvalidArgument);
+  EXPECT_THROW(c.get_bool("b", false), InvalidArgument);
+}
+
+TEST(Config, LastValueWins) {
+  Config c = parse({"x=1", "x=2"});
+  EXPECT_EQ(c.get_int("x", 0), 2);
+}
+
+TEST(Config, ValueWithEqualsSign) {
+  Config c = parse({"expr=a=b"});
+  EXPECT_EQ(c.get_string("expr", ""), "a=b");
+}
+
+TEST(Config, KeysSorted) {
+  Config c = parse({"zeta=1", "alpha=2"});
+  auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "zeta");
+}
+
+}  // namespace
+}  // namespace vizcache

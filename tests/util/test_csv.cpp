@@ -1,0 +1,79 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "vizcache_csv_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  std::string p = path("a.csv");
+  {
+    CsvWriter w(p, {"x", "y"});
+    w.row({"1", "2"});
+    w.row({"3", "4"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(p), "x,y\n1,2\n3,4\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  std::string p = path("b.csv");
+  {
+    CsvWriter w(p, {"name"});
+    w.row({"has,comma"});
+    w.row({"has\"quote"});
+  }
+  EXPECT_EQ(read_file(p), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, RowArityMismatchThrows) {
+  CsvWriter w(path("c.csv"), {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), InvalidArgument);
+}
+
+TEST_F(CsvTest, EmptyColumnsThrow) {
+  EXPECT_THROW(CsvWriter(path("d.csv"), {}), InvalidArgument);
+}
+
+TEST_F(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/out.csv", {"a"}), IoError);
+}
+
+TEST_F(CsvTest, NumericCells) {
+  EXPECT_EQ(CsvWriter::to_cell(static_cast<u64>(42)), "42");
+  EXPECT_EQ(CsvWriter::to_cell(static_cast<i64>(-7)), "-7");
+  EXPECT_EQ(CsvWriter::to_cell(std::string("s")), "s");
+  // Doubles keep ~10 significant digits.
+  EXPECT_EQ(CsvWriter::to_cell(0.25), "0.25");
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,161 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(3);
+  OnlineStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.normal(3.0, 1.5);
+    whole.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(CorrelationMatrix, DiagonalIsOne) {
+  CorrelationMatrix c(3);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> s{rng.next_double(), rng.next_double(), rng.next_double()};
+    c.add_sample(std::span<const double>(s));
+  }
+  for (usize i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(c.correlation(i, i), 1.0);
+}
+
+TEST(CorrelationMatrix, PerfectPositiveAndNegative) {
+  CorrelationMatrix c(3);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.normal();
+    std::vector<double> s{x, 2.0 * x + 1.0, -x};
+    c.add_sample(std::span<const double>(s));
+  }
+  EXPECT_NEAR(c.correlation(0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(c.correlation(0, 2), -1.0, 1e-9);
+  EXPECT_NEAR(c.correlation(1, 2), -1.0, 1e-9);
+}
+
+TEST(CorrelationMatrix, IndependentVariablesNearZero) {
+  CorrelationMatrix c(2);
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    std::vector<double> s{rng.normal(), rng.normal()};
+    c.add_sample(std::span<const double>(s));
+  }
+  EXPECT_NEAR(c.correlation(0, 1), 0.0, 0.02);
+}
+
+TEST(CorrelationMatrix, SymmetricMatrix) {
+  CorrelationMatrix c(4);
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> s{rng.normal(), rng.normal(), rng.normal(),
+                          rng.normal()};
+    c.add_sample(std::span<const double>(s));
+  }
+  auto m = c.matrix();
+  for (usize i = 0; i < 4; ++i)
+    for (usize j = 0; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(m[i * 4 + j], m[j * 4 + i]);
+}
+
+TEST(CorrelationMatrix, ConstantVariableGivesZero) {
+  CorrelationMatrix c(2);
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> s{rng.normal(), 42.0};
+    c.add_sample(std::span<const double>(s));
+  }
+  EXPECT_DOUBLE_EQ(c.correlation(0, 1), 0.0);
+}
+
+TEST(CorrelationMatrix, CorrelationInUnitRange) {
+  CorrelationMatrix c(5);
+  Rng rng(19);
+  for (int i = 0; i < 300; ++i) {
+    double base = rng.normal();
+    std::vector<double> s(5);
+    for (usize v = 0; v < 5; ++v)
+      s[v] = base * (0.2 * static_cast<double>(v)) + rng.normal();
+    c.add_sample(std::span<const double>(s));
+  }
+  for (usize i = 0; i < 5; ++i) {
+    for (usize j = 0; j < 5; ++j) {
+      EXPECT_GE(c.correlation(i, j), -1.0 - 1e-12);
+      EXPECT_LE(c.correlation(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(CorrelationMatrix, ArityMismatchThrows) {
+  CorrelationMatrix c(3);
+  std::vector<double> wrong{1.0, 2.0};
+  EXPECT_THROW(c.add_sample(std::span<const double>(wrong)), InvalidArgument);
+}
+
+TEST(Summary, EmptyInput) {
+  Summary s = summarize({});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(Summary, OddAndEvenMedian) {
+  std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(odd).median, 2.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(even).median, 2.5);
+}
+
+}  // namespace
+}  // namespace vizcache

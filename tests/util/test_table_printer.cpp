@@ -1,0 +1,48 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  std::string out = t.render();
+  // Header present, rows present, alignment pads "a" to width of "longer".
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_NE(out.find("a       1"), std::string::npos);
+}
+
+TEST(TablePrinter, TitleLine) {
+  TablePrinter t({"c"});
+  t.row({"x"});
+  std::string out = t.render("My Table");
+  EXPECT_EQ(out.rfind("== My Table ==", 0), 0u);
+}
+
+TEST(TablePrinter, ArityMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.row({"only"}), InvalidArgument);
+}
+
+TEST(TablePrinter, EmptyColumnsThrow) {
+  EXPECT_THROW(TablePrinter({}), InvalidArgument);
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+TEST(TablePrinter, PctFormatsFractions) {
+  EXPECT_EQ(TablePrinter::pct(0.25), "25.00%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace vizcache

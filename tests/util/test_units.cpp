@@ -1,0 +1,57 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(17), "17 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(4 * kGiB), "4.00 GiB");
+  EXPECT_EQ(format_bytes(static_cast<u64>(7.2 * static_cast<double>(kGiB))),
+            "7.20 GiB");
+  EXPECT_EQ(format_bytes(3 * kTiB), "3.00 TiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0125), "12.500 ms");
+  EXPECT_EQ(format_seconds(42e-6), "42.000 us");
+  EXPECT_EQ(format_seconds(5e-9), "5.000 ns");
+}
+
+TEST(Units, ParseBytesPlain) {
+  EXPECT_EQ(parse_bytes("1024"), 1024u);
+  EXPECT_EQ(parse_bytes("0"), 0u);
+}
+
+TEST(Units, ParseBytesSuffixes) {
+  EXPECT_EQ(parse_bytes("2k"), 2 * kKiB);
+  EXPECT_EQ(parse_bytes("64M"), 64 * kMiB);
+  EXPECT_EQ(parse_bytes("3G"), 3 * kGiB);
+  EXPECT_EQ(parse_bytes("1T"), kTiB);
+  EXPECT_EQ(parse_bytes("100B"), 100u);
+}
+
+TEST(Units, ParseBytesFractional) {
+  EXPECT_EQ(parse_bytes("0.5G"), kGiB / 2);
+  EXPECT_EQ(parse_bytes("1.5k"), 1536u);
+}
+
+TEST(Units, ParseBytesRejectsJunk) {
+  EXPECT_THROW(parse_bytes(""), InvalidArgument);
+  EXPECT_THROW(parse_bytes("abc"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("12X"), InvalidArgument);
+}
+
+TEST(Units, RoundTripFormatParse) {
+  for (u64 v : {kKiB, 5 * kMiB, 2 * kGiB}) {
+    EXPECT_EQ(parse_bytes(std::to_string(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,90 @@
+#include "volume/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "volume/blocker.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(MemoryBlockStore, MatchesExtraction) {
+  SyntheticVolume ball = make_ball_volume({24, 24, 24});
+  Field3D f = rasterize(ball);
+  MemoryBlockStore store(f, {8, 8, 8});
+  for (BlockId id = 0; id < store.grid().block_count(); ++id) {
+    auto expected = extract_block(f, store.grid(), id);
+    auto got = store.read_block(id, 0, 0);
+    ASSERT_EQ(got.size(), expected.size());
+    for (usize i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expected[i]);
+  }
+}
+
+TEST(MemoryBlockStore, RejectsMultiVariable) {
+  Field3D f({8, 8, 8});
+  MemoryBlockStore store(f, {4, 4, 4});
+  EXPECT_THROW(store.read_block(0, 1, 0), InvalidArgument);
+  EXPECT_THROW(store.read_block(0, 0, 1), InvalidArgument);
+}
+
+TEST(MemoryBlockStore, FillsDefaultDesc) {
+  Field3D f({8, 8, 8});
+  MemoryBlockStore store(f, {4, 4, 4});
+  EXPECT_EQ(store.desc().dims, Dims3(8, 8, 8));
+  EXPECT_EQ(store.desc().variables, 1u);
+}
+
+TEST(SyntheticBlockStore, AgreesWithRasterizedField) {
+  SyntheticVolume ball = make_ball_volume({20, 20, 20});
+  Field3D f = rasterize(ball);
+  SyntheticBlockStore lazy(ball, {8, 8, 8});
+  MemoryBlockStore eager(f, {8, 8, 8});
+  for (BlockId id = 0; id < lazy.grid().block_count(); ++id) {
+    auto a = lazy.read_block(id, 0, 0);
+    auto b = eager.read_block(id, 0, 0);
+    ASSERT_EQ(a.size(), b.size());
+    for (usize i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "block " << id << " voxel " << i;
+    }
+  }
+}
+
+TEST(SyntheticBlockStore, MultiVariableReads) {
+  SyntheticVolume climate = make_climate_volume({16, 16, 8}, 6, 3);
+  SyntheticBlockStore store(climate, {8, 8, 4});
+  auto v0 = store.read_block(0, 0, 0);
+  auto v1 = store.read_block(0, 1, 0);
+  auto t1 = store.read_block(0, 1, 1);
+  EXPECT_NE(v0, v1);
+  EXPECT_NE(v1, t1);
+  EXPECT_THROW(store.read_block(0, 6, 0), InvalidArgument);
+  EXPECT_THROW(store.read_block(0, 0, 3), InvalidArgument);
+}
+
+TEST(SyntheticBlockStore, DeterministicReads) {
+  SyntheticVolume flame = make_flame_volume("f", {24, 24, 24});
+  SyntheticBlockStore store(flame, {8, 8, 8});
+  EXPECT_EQ(store.read_block(5, 0, 0), store.read_block(5, 0, 0));
+}
+
+TEST(SyntheticBlockStore, EdgeBlocksClipped) {
+  SyntheticVolume ball = make_ball_volume({10, 10, 10});
+  SyntheticBlockStore store(ball, {4, 4, 4});
+  BlockId corner = store.grid().id_of({2, 2, 2});
+  EXPECT_EQ(store.read_block(corner, 0, 0).size(), 8u);  // 2x2x2
+}
+
+TEST(BlockStore, BlockBytesHelper) {
+  SyntheticVolume ball = make_ball_volume({8, 8, 8});
+  SyntheticBlockStore store(ball, {4, 4, 4});
+  EXPECT_EQ(store.block_bytes(0), 4u * 4 * 4 * 4);
+}
+
+TEST(SyntheticBlockStore, OutOfRangeIdThrows) {
+  SyntheticVolume ball = make_ball_volume({8, 8, 8});
+  SyntheticBlockStore store(ball, {4, 4, 4});
+  EXPECT_THROW(store.read_block(999, 0, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

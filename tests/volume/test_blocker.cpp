@@ -1,0 +1,63 @@
+#include "volume/blocker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vizcache {
+namespace {
+
+Field3D random_field(Dims3 dims, u64 seed) {
+  Field3D f(dims);
+  Rng rng(seed);
+  for (float& v : f.values()) v = static_cast<float>(rng.next_double());
+  return f;
+}
+
+TEST(Blocker, ExtractSizeMatchesBlock) {
+  Field3D f = random_field({10, 10, 10}, 1);
+  BlockGrid grid({10, 10, 10}, {4, 4, 4});
+  for (BlockId id = 0; id < grid.block_count(); ++id) {
+    EXPECT_EQ(extract_block(f, grid, id).size(), grid.block_voxels(id));
+  }
+}
+
+TEST(Blocker, ExtractInsertRoundTrip) {
+  Field3D f = random_field({12, 9, 7}, 2);
+  BlockGrid grid({12, 9, 7}, {5, 4, 3});
+  Field3D rebuilt(f.dims(), -1.0f);
+  for (BlockId id = 0; id < grid.block_count(); ++id) {
+    insert_block(rebuilt, grid, id, extract_block(f, grid, id));
+  }
+  for (usize i = 0; i < f.voxels(); ++i) {
+    EXPECT_EQ(rebuilt.values()[i], f.values()[i]);
+  }
+}
+
+TEST(Blocker, ExtractReadsCorrectRegion) {
+  Field3D f({8, 8, 8});
+  BlockGrid grid({8, 8, 8}, {4, 4, 4});
+  // Tag voxel (5, 6, 7) which lives in block (1,1,1).
+  f.at(5, 6, 7) = 42.0f;
+  BlockId id = grid.id_of({1, 1, 1});
+  auto payload = extract_block(f, grid, id);
+  // Local coords (1, 2, 3) in a 4x4x4 block, x-fastest.
+  EXPECT_FLOAT_EQ(payload[(3 * 4 + 2) * 4 + 1], 42.0f);
+}
+
+TEST(Blocker, MismatchedGridThrows) {
+  Field3D f({8, 8, 8});
+  BlockGrid wrong({16, 16, 16}, {4, 4, 4});
+  EXPECT_THROW(extract_block(f, wrong, 0), InvalidArgument);
+}
+
+TEST(Blocker, WrongPayloadSizeThrows) {
+  Field3D f({8, 8, 8});
+  BlockGrid grid({8, 8, 8}, {4, 4, 4});
+  std::vector<float> wrong(3, 0.0f);
+  EXPECT_THROW(insert_block(f, grid, 0, wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

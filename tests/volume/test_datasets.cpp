@@ -1,0 +1,78 @@
+#include "volume/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(Datasets, TableOneDims) {
+  EXPECT_EQ(paper_dims(DatasetId::kBall3d), Dims3(1024, 1024, 1024));
+  EXPECT_EQ(paper_dims(DatasetId::kLiftedMixFrac), Dims3(800, 686, 215));
+  EXPECT_EQ(paper_dims(DatasetId::kLiftedRr), Dims3(800, 800, 400));
+  EXPECT_EQ(paper_dims(DatasetId::kClimate), Dims3(294, 258, 98));
+}
+
+TEST(Datasets, TableOneSizes) {
+  // Table I: 3d_ball = 4 GB (binary), lifted_rr = 1 GB (decimal),
+  // lifted_mix_frac = 472 MB (decimal), climate = 7.2 GB for the 244
+  // variables of one timestep.
+  SyntheticVolume ball = make_dataset(DatasetId::kBall3d, 1.0);
+  EXPECT_EQ(ball.desc.total_bytes(), 4 * kGiB);
+  SyntheticVolume rr = make_dataset(DatasetId::kLiftedRr, 1.0);
+  EXPECT_EQ(rr.desc.total_bytes(), 1'024'000'000u);
+  SyntheticVolume mf = make_dataset(DatasetId::kLiftedMixFrac, 1.0);
+  EXPECT_EQ(mf.desc.total_bytes(), 471'968'000u);
+  SyntheticVolume cl = make_dataset(DatasetId::kClimate, 1.0);
+  double per_step_gb = static_cast<double>(cl.desc.field_bytes()) *
+                       static_cast<double>(cl.desc.variables) / 1e9;
+  EXPECT_NEAR(per_step_gb, 7.2, 0.1);
+}
+
+TEST(Datasets, Names) {
+  EXPECT_STREQ(dataset_name(DatasetId::kBall3d), "3d_ball");
+  EXPECT_STREQ(dataset_name(DatasetId::kLiftedMixFrac), "lifted_mix_frac");
+  EXPECT_STREQ(dataset_name(DatasetId::kLiftedRr), "lifted_rr");
+  EXPECT_STREQ(dataset_name(DatasetId::kClimate), "climate");
+}
+
+TEST(Datasets, ClimateIsMultivariateTimeVarying) {
+  SyntheticVolume c = make_dataset(DatasetId::kClimate, 1.0);
+  EXPECT_EQ(c.desc.variables, 244u);
+  EXPECT_GT(c.desc.timesteps, 1u);
+}
+
+TEST(Datasets, ScaleShrinksDims) {
+  SyntheticVolume half = make_dataset(DatasetId::kBall3d, 0.5);
+  EXPECT_EQ(half.desc.dims, Dims3(512, 512, 512));
+  SyntheticVolume tiny = make_dataset(DatasetId::kLiftedRr, 0.05);
+  EXPECT_EQ(tiny.desc.dims, Dims3(40, 40, 20));
+}
+
+TEST(Datasets, ScaleFloorsAtEight) {
+  SyntheticVolume v = make_dataset(DatasetId::kClimate, 0.01);
+  EXPECT_GE(v.desc.dims.x, 8u);
+  EXPECT_GE(v.desc.dims.y, 8u);
+  EXPECT_GE(v.desc.dims.z, 8u);
+  EXPECT_GE(v.desc.variables, 4u);
+}
+
+TEST(Datasets, InvalidScaleThrows) {
+  EXPECT_THROW(make_dataset(DatasetId::kBall3d, 0.0), InvalidArgument);
+  EXPECT_THROW(make_dataset(DatasetId::kBall3d, 1.5), InvalidArgument);
+}
+
+TEST(Datasets, AllDatasetsEnumerated) {
+  auto all = all_datasets();
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(Datasets, VariablesHelper) {
+  EXPECT_EQ(paper_variables(DatasetId::kClimate), 244u);
+  EXPECT_EQ(paper_variables(DatasetId::kBall3d), 1u);
+}
+
+}  // namespace
+}  // namespace vizcache

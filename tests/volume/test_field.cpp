@@ -1,0 +1,74 @@
+#include "volume/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(Field3D, ConstructionAndFill) {
+  Field3D f({4, 5, 6}, 2.5f);
+  EXPECT_EQ(f.voxels(), 120u);
+  EXPECT_FLOAT_EQ(f.at(3, 4, 5), 2.5f);
+  EXPECT_FLOAT_EQ(f.min_value(), 2.5f);
+  EXPECT_FLOAT_EQ(f.max_value(), 2.5f);
+}
+
+TEST(Field3D, IndexingIsXFastest) {
+  Field3D f({2, 2, 2});
+  EXPECT_EQ(f.index(1, 0, 0), 1u);
+  EXPECT_EQ(f.index(0, 1, 0), 2u);
+  EXPECT_EQ(f.index(0, 0, 1), 4u);
+}
+
+TEST(Field3D, ReadWrite) {
+  Field3D f({3, 3, 3});
+  f.at(1, 2, 0) = 7.0f;
+  EXPECT_FLOAT_EQ(f.at(1, 2, 0), 7.0f);
+  EXPECT_FLOAT_EQ(f.values()[f.index(1, 2, 0)], 7.0f);
+}
+
+TEST(Field3D, TrilinearSampleAtVoxelCenters) {
+  Field3D f({3, 3, 3});
+  f.at(1, 1, 1) = 5.0f;
+  EXPECT_FLOAT_EQ(f.sample(1.0, 1.0, 1.0), 5.0f);
+  EXPECT_FLOAT_EQ(f.sample(0.0, 0.0, 0.0), 0.0f);
+}
+
+TEST(Field3D, TrilinearSampleInterpolates) {
+  Field3D f({2, 1, 1});
+  f.at(0, 0, 0) = 0.0f;
+  f.at(1, 0, 0) = 10.0f;
+  EXPECT_NEAR(f.sample(0.5, 0.0, 0.0), 5.0f, 1e-5);
+  EXPECT_NEAR(f.sample(0.25, 0.0, 0.0), 2.5f, 1e-5);
+}
+
+TEST(Field3D, SampleClampsOutOfRange) {
+  Field3D f({2, 2, 2}, 1.0f);
+  EXPECT_FLOAT_EQ(f.sample(-5.0, 0.0, 0.0), 1.0f);
+  EXPECT_FLOAT_EQ(f.sample(100.0, 100.0, 100.0), 1.0f);
+}
+
+TEST(Field3D, SampleNormalizedEndpoints) {
+  Field3D f({4, 4, 4});
+  f.at(0, 0, 0) = 1.0f;
+  f.at(3, 3, 3) = 2.0f;
+  EXPECT_FLOAT_EQ(f.sample_normalized(-1.0, -1.0, -1.0), 1.0f);
+  EXPECT_FLOAT_EQ(f.sample_normalized(1.0, 1.0, 1.0), 2.0f);
+}
+
+TEST(Field3D, MinMax) {
+  Field3D f({2, 2, 1});
+  f.at(0, 0, 0) = -3.0f;
+  f.at(1, 1, 0) = 9.0f;
+  EXPECT_FLOAT_EQ(f.min_value(), -3.0f);
+  EXPECT_FLOAT_EQ(f.max_value(), 9.0f);
+}
+
+TEST(Field3D, EmptyDimsThrow) {
+  EXPECT_THROW(Field3D({0, 4, 4}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

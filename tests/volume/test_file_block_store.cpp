@@ -1,0 +1,85 @@
+#include "volume/file_block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileBlockStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() / "vizcache_fbs_test").string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_F(FileBlockStoreTest, RoundTripsThroughDisk) {
+  SyntheticVolume ball = make_ball_volume({16, 16, 16});
+  SyntheticBlockStore reference(ball, {8, 8, 8});
+  FileBlockStore store = FileBlockStore::write_store(root_, ball, {8, 8, 8});
+  for (BlockId id = 0; id < store.grid().block_count(); ++id) {
+    auto disk = store.read_block(id, 0, 0);
+    auto mem = reference.read_block(id, 0, 0);
+    ASSERT_EQ(disk.size(), mem.size());
+    for (usize i = 0; i < disk.size(); ++i) EXPECT_EQ(disk[i], mem[i]);
+  }
+}
+
+TEST_F(FileBlockStoreTest, MultiVariableLayout) {
+  SyntheticVolume climate = make_climate_volume({8, 8, 8}, 3, 2);
+  FileBlockStore store = FileBlockStore::write_store(root_, climate, {4, 4, 4});
+  // All (var, t) combinations materialized and distinct paths exist.
+  for (usize t = 0; t < 2; ++t) {
+    for (usize v = 0; v < 3; ++v) {
+      EXPECT_TRUE(fs::exists(store.block_path(0, v, t)));
+    }
+  }
+  auto a = store.read_block(1, 0, 0);
+  auto b = store.read_block(1, 2, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FileBlockStoreTest, MissingBrickThrows) {
+  SyntheticVolume ball = make_ball_volume({8, 8, 8});
+  FileBlockStore store = FileBlockStore::write_store(root_, ball, {4, 4, 4});
+  fs::remove(store.block_path(3, 0, 0));
+  EXPECT_THROW(store.read_block(3, 0, 0), IoError);
+}
+
+TEST_F(FileBlockStoreTest, TruncatedBrickThrows) {
+  SyntheticVolume ball = make_ball_volume({8, 8, 8});
+  FileBlockStore store = FileBlockStore::write_store(root_, ball, {4, 4, 4});
+  // Truncate one brick to half size.
+  std::string p = store.block_path(2, 0, 0);
+  fs::resize_file(p, fs::file_size(p) / 2);
+  EXPECT_THROW(store.read_block(2, 0, 0), IoError);
+}
+
+TEST_F(FileBlockStoreTest, MissingRootThrows) {
+  SyntheticVolume ball = make_ball_volume({8, 8, 8});
+  EXPECT_THROW(
+      FileBlockStore("/nonexistent_vizcache_root", ball.desc, {4, 4, 4}),
+      IoError);
+}
+
+TEST_F(FileBlockStoreTest, BrickFilesHaveExpectedSize) {
+  SyntheticVolume ball = make_ball_volume({10, 10, 10});
+  FileBlockStore store = FileBlockStore::write_store(root_, ball, {4, 4, 4});
+  for (BlockId id = 0; id < store.grid().block_count(); ++id) {
+    EXPECT_EQ(fs::file_size(store.block_path(id, 0, 0)),
+              store.grid().block_voxels(id) * sizeof(float));
+  }
+}
+
+}  // namespace
+}  // namespace vizcache

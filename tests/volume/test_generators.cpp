@@ -1,0 +1,160 @@
+#include "volume/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(BallVolume, AmbientOutsideBallIsZero) {
+  SyntheticVolume ball = make_ball_volume({32, 32, 32});
+  EXPECT_FLOAT_EQ(ball.fn({0.99, 0.0, 0.0}, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(ball.fn({0.7, 0.7, 0.2}, 0, 0), 0.0f);
+}
+
+TEST(BallVolume, InteriorVaries) {
+  SyntheticVolume ball = make_ball_volume({32, 32, 32});
+  float center = ball.fn({0.0, 0.0, 0.0}, 0, 0);
+  float mid = ball.fn({0.5, 0.0, 0.0}, 0, 0);
+  EXPECT_GT(center, 0.0f);
+  EXPECT_NE(center, mid);
+}
+
+TEST(BallVolume, RadiallySymmetricStructure) {
+  // Same radius, different directions: values close (only noise differs).
+  SyntheticVolume ball = make_ball_volume({32, 32, 32});
+  float a = ball.fn({0.5, 0.0, 0.0}, 0, 0);
+  float b = ball.fn({0.0, 0.5, 0.0}, 0, 0);
+  EXPECT_NEAR(a, b, 0.15f);
+}
+
+TEST(FlameVolume, AmbientFarFromJetIsNearZero) {
+  SyntheticVolume flame = make_flame_volume("f", {32, 32, 32});
+  EXPECT_LT(flame.fn({0.95, 0.0, 0.95}, 0, 0), 0.05f);
+}
+
+TEST(FlameVolume, CoreDownstreamIsNearOne) {
+  SyntheticVolume flame = make_flame_volume("f", {32, 32, 32});
+  // On the jet centerline, mid-downstream.
+  float v = flame.fn({0.15 * std::sin(0.5 * 7.0), 0.0, 0.12 * std::cos(0.5 * 5.0)},
+                     0, 0);
+  EXPECT_GT(v, 0.8f);
+}
+
+TEST(FlameVolume, LiftedBaseSuppressed) {
+  SyntheticVolume flame = make_flame_volume("f", {32, 32, 32});
+  // At the very bottom (s=0) the flame is lifted: value 0 even on axis.
+  EXPECT_FLOAT_EQ(flame.fn({0.0, -1.0, 0.0}, 0, 0), 0.0f);
+}
+
+TEST(FlameVolume, SeedsDiffer) {
+  SyntheticVolume a = make_flame_volume("a", {16, 16, 16}, 1);
+  SyntheticVolume b = make_flame_volume("b", {16, 16, 16}, 2);
+  int diff = 0;
+  for (double x = -0.5; x <= 0.5; x += 0.1) {
+    if (a.fn({x, 0.3, 0.0}, 0, 0) != b.fn({x, 0.3, 0.0}, 0, 0)) ++diff;
+  }
+  EXPECT_GT(diff, 3);
+}
+
+TEST(ClimateVolume, VariableAndTimestepBounds) {
+  SyntheticVolume c = make_climate_volume({16, 16, 8}, 12, 4);
+  EXPECT_EQ(c.desc.variables, 12u);
+  EXPECT_EQ(c.desc.timesteps, 4u);
+  // All prototype classes return finite values.
+  for (usize var = 0; var < 12; ++var) {
+    for (usize t = 0; t < 4; ++t) {
+      float v = c.fn({0.1, -0.2, 0.0}, var, t);
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(ClimateVolume, VortexMovesOverTime) {
+  SyntheticVolume c = make_climate_volume({16, 16, 8}, 4, 8);
+  // Wind magnitude (var 1) at the t=0 vortex center decays as the vortex
+  // drifts away.
+  Vec3 center0{0.4, -0.2, -0.5};
+  float early = c.fn(center0, 1, 0);
+  float late = c.fn(center0, 1, 7);
+  EXPECT_GT(early, late);
+}
+
+TEST(ClimateVolume, VariablesAreCorrelatedWithPrototypes) {
+  SyntheticVolume c = make_climate_volume({16, 16, 8}, 8, 1);
+  // var 4 is a mixture containing qvapor (var 0): sample correlation > 0.
+  double sum00 = 0, sum44 = 0, sum04 = 0, m0 = 0, m4 = 0;
+  int n = 0;
+  for (double x = -0.9; x <= 0.9; x += 0.2) {
+    for (double y = -0.9; y <= 0.9; y += 0.2) {
+      double v0 = c.fn({x, y, 0.0}, 0, 0);
+      double v4 = c.fn({x, y, 0.0}, 4, 0);
+      m0 += v0;
+      m4 += v4;
+      ++n;
+      sum00 += v0 * v0;
+      sum44 += v4 * v4;
+      sum04 += v0 * v4;
+    }
+  }
+  m0 /= n;
+  m4 /= n;
+  double cov = sum04 / n - m0 * m4;
+  double var0 = sum00 / n - m0 * m0;
+  double var4 = sum44 / n - m4 * m4;
+  double corr = cov / std::sqrt(var0 * var4);
+  EXPECT_GT(corr, 0.3);
+}
+
+TEST(ClimateVolume, RejectsEmptySpecs) {
+  EXPECT_THROW(make_climate_volume({8, 8, 8}, 0, 1), InvalidArgument);
+  EXPECT_THROW(make_climate_volume({8, 8, 8}, 1, 0), InvalidArgument);
+}
+
+TEST(TurbulenceVolume, HighEntropyEverywhere) {
+  SyntheticVolume t = make_turbulence_volume({24, 24, 24});
+  Field3D f = rasterize(t);
+  EXPECT_GT(shannon_entropy_bits(f.values(), 64), 3.0);
+}
+
+TEST(Rasterize, DimsMatchAndDeterministic) {
+  SyntheticVolume ball = make_ball_volume({20, 24, 28});
+  Field3D a = rasterize(ball);
+  Field3D b = rasterize(ball);
+  EXPECT_EQ(a.dims(), Dims3(20, 24, 28));
+  for (usize i = 0; i < a.voxels(); ++i) {
+    EXPECT_EQ(a.values()[i], b.values()[i]);
+  }
+}
+
+TEST(Rasterize, OutOfRangeVarThrows) {
+  SyntheticVolume ball = make_ball_volume({8, 8, 8});
+  EXPECT_THROW(rasterize(ball, 1, 0), InvalidArgument);
+  EXPECT_THROW(rasterize(ball, 0, 1), InvalidArgument);
+}
+
+TEST(Generators, FlameEntropySkew) {
+  // The key property for Observation 2: the flame dataset must contain both
+  // near-zero-entropy ambient blocks and high-entropy sheet blocks.
+  SyntheticVolume flame = make_flame_volume("f", {48, 48, 48});
+  Field3D f = rasterize(flame);
+  // Ambient corner region.
+  std::vector<float> ambient, sheet;
+  for (usize z = 0; z < 12; ++z)
+    for (usize y = 0; y < 12; ++y)
+      for (usize x = 36; x < 48; ++x) ambient.push_back(f.at(x, y, z));
+  // Center column mid-height (flame sheet).
+  for (usize z = 18; z < 30; ++z)
+    for (usize y = 18; y < 30; ++y)
+      for (usize x = 18; x < 30; ++x) sheet.push_back(f.at(x, y, z));
+  EXPECT_LT(shannon_entropy_bits(ambient, 64), 1.0);
+  EXPECT_GT(shannon_entropy_bits(sheet, 64),
+            shannon_entropy_bits(ambient, 64));
+}
+
+}  // namespace
+}  // namespace vizcache

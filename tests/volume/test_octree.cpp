@@ -1,0 +1,153 @@
+#include "volume/octree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/visibility.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "volume/generators.hpp"
+
+namespace vizcache {
+namespace {
+
+struct OctreeWorld {
+  SyntheticVolume volume = make_flame_volume("f", {48, 40, 32});
+  BlockGrid grid{{48, 40, 32}, {8, 8, 8}};
+  SyntheticBlockStore store{volume, {8, 8, 8}};
+  BlockMetadataTable metadata = BlockMetadataTable::build(store);
+  BlockOctree tree = BlockOctree::build(grid, &metadata);
+};
+
+TEST(BlockOctree, LeafPerBlock) {
+  OctreeWorld w;
+  EXPECT_EQ(w.tree.leaf_count(), w.grid.block_count());
+  EXPECT_GT(w.tree.node_count(), w.tree.leaf_count());
+  EXPECT_GE(w.tree.height(), 3u);
+}
+
+TEST(BlockOctree, FrustumQueryMatchesBruteForceExactly) {
+  // The headline property: hierarchical culling never changes the result.
+  OctreeWorld w;
+  BlockBoundsIndex brute(w.grid);
+  Rng rng(7);
+  for (int i = 0; i < 150; ++i) {
+    Vec3 pos = direction_from_angles(rng.uniform(0.05, 3.09),
+                                     rng.uniform(0.0, 6.28)) *
+               rng.uniform(2.0, 4.0);
+    double angle = rng.uniform(5.0, 60.0);
+    Camera cam(pos, angle);
+    auto expected = brute.visible_blocks(cam);
+    auto got = w.tree.query_frustum(ConeFrustum(cam));
+    ASSERT_EQ(got, expected) << "camera " << i << " angle " << angle;
+  }
+}
+
+TEST(BlockOctree, FrustumQueryPrunes) {
+  OctreeWorld w;
+  Camera narrow({3, 0, 0}, 8.0);
+  w.tree.query_frustum(ConeFrustum(narrow));
+  usize narrow_visits = w.tree.last_visits();
+  Camera wide({3, 0, 0}, 90.0);
+  w.tree.query_frustum(ConeFrustum(wide));
+  usize wide_visits = w.tree.last_visits();
+  // The conservative sphere cull cannot reject the big near-root nodes, but
+  // a narrow cone must still prune subtrees a wide cone visits.
+  EXPECT_LT(narrow_visits, wide_visits);
+  EXPECT_LT(narrow_visits, w.tree.node_count());
+}
+
+TEST(BlockOctree, RangeQueryMatchesMetadataScan) {
+  OctreeWorld w;
+  for (auto [lo, hi] : {std::pair{0.45f, 0.55f}, std::pair{0.9f, 1.0f},
+                        std::pair{-1.0f, 2.0f}}) {
+    auto expected = w.metadata.blocks_in_range(0, lo, hi);
+    auto got = w.tree.query_range(lo, hi);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(BlockOctree, FrustumRangeIsIntersection) {
+  OctreeWorld w;
+  Camera cam({3, 0.5, 0}, 25.0);
+  ConeFrustum f(cam);
+  auto view = w.tree.query_frustum(f);
+  auto range = w.tree.query_range(0.4f, 0.6f);
+  auto both = w.tree.query_frustum_range(f, 0.4f, 0.6f);
+  std::vector<BlockId> expected;
+  std::set_intersection(view.begin(), view.end(), range.begin(), range.end(),
+                        std::back_inserter(expected));
+  EXPECT_EQ(both, expected);
+}
+
+TEST(BlockOctree, RangePruningVisitsFewerNodes) {
+  OctreeWorld w;
+  w.tree.query_range(-100.0f, 100.0f);
+  usize all_visits = w.tree.last_visits();
+  w.tree.query_range(0.999f, 1.0f);  // only flame-core blocks
+  EXPECT_LT(w.tree.last_visits(), all_visits);
+}
+
+TEST(BlockOctree, WithoutMetadataRangeThrows) {
+  BlockGrid grid({16, 16, 16}, {8, 8, 8});
+  BlockOctree tree = BlockOctree::build(grid);
+  EXPECT_THROW(tree.query_range(0.0f, 1.0f), InvalidArgument);
+  // But frustum queries work.
+  Camera cam({3, 0, 0}, 30.0);
+  EXPECT_FALSE(tree.query_frustum(ConeFrustum(cam)).empty());
+}
+
+TEST(BlockOctree, NonPowerOfTwoGrids) {
+  // 5x3x2 block grid: branch-on-need must handle odd splits.
+  BlockGrid grid({25, 15, 10}, {5, 5, 5});
+  BlockOctree tree = BlockOctree::build(grid);
+  EXPECT_EQ(tree.leaf_count(), grid.block_count());
+  BlockBoundsIndex brute(grid);
+  Camera cam({2.5, 1.0, -0.5}, 40.0);
+  EXPECT_EQ(tree.query_frustum(ConeFrustum(cam)),
+            brute.visible_blocks(cam));
+}
+
+TEST(BlockOctree, SingleBlockGrid) {
+  BlockGrid grid({8, 8, 8}, {8, 8, 8});
+  BlockOctree tree = BlockOctree::build(grid);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  Camera cam({3, 0, 0}, 30.0);
+  auto vis = tree.query_frustum(ConeFrustum(cam));
+  ASSERT_EQ(vis.size(), 1u);
+  EXPECT_EQ(vis[0], 0u);
+}
+
+TEST(BlockOctree, InvalidRangeThrows) {
+  OctreeWorld w;
+  EXPECT_THROW(w.tree.query_range(1.0f, 0.0f), InvalidArgument);
+  Camera cam({3, 0, 0}, 30.0);
+  EXPECT_THROW(w.tree.query_frustum_range(ConeFrustum(cam), 1.0f, 0.0f),
+               InvalidArgument);
+}
+
+TEST(ConeFrustumSphere, ConservativeNoFalseNegatives) {
+  // Property: whenever a block intersects the cone, its bounding sphere
+  // must pass the may_intersect test.
+  Rng rng(13);
+  for (int i = 0; i < 400; ++i) {
+    Vec3 pos = direction_from_angles(rng.uniform(0.05, 3.09),
+                                     rng.uniform(0.0, 6.28)) *
+               rng.uniform(2.0, 4.0);
+    Camera cam(pos, rng.uniform(5.0, 50.0));
+    ConeFrustum f(cam);
+    Vec3 lo{rng.uniform(-1.0, 0.6), rng.uniform(-1.0, 0.6),
+            rng.uniform(-1.0, 0.6)};
+    AABB box(lo, lo + Vec3{rng.uniform(0.05, 0.4), rng.uniform(0.05, 0.4),
+                           rng.uniform(0.05, 0.4)});
+    if (f.intersects_block(box)) {
+      EXPECT_TRUE(
+          f.may_intersect_sphere(box.center(), box.diagonal() * 0.5));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,114 @@
+#include "volume/packed_block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vizcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PackedStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "vizcache_packed_test";
+    fs::create_directories(dir_);
+    path_ = (dir_ / "store.vzpk").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(PackedStoreTest, RoundTripsAllBlocks) {
+  SyntheticVolume ball = make_ball_volume({20, 16, 12});
+  SyntheticBlockStore reference(ball, {8, 8, 8});
+  PackedFileBlockStore store =
+      PackedFileBlockStore::write_store(path_, ball, {8, 8, 8});
+  ASSERT_EQ(store.grid().block_count(), reference.grid().block_count());
+  for (BlockId id = 0; id < store.grid().block_count(); ++id) {
+    EXPECT_EQ(store.read_block(id, 0, 0), reference.read_block(id, 0, 0))
+        << "block " << id;
+  }
+}
+
+TEST_F(PackedStoreTest, MultiVariableTimeVarying) {
+  SyntheticVolume climate = make_climate_volume({12, 12, 8}, 3, 2);
+  SyntheticBlockStore reference(climate, {6, 6, 4});
+  PackedFileBlockStore store =
+      PackedFileBlockStore::write_store(path_, climate, {6, 6, 4});
+  for (usize t = 0; t < 2; ++t) {
+    for (usize v = 0; v < 3; ++v) {
+      EXPECT_EQ(store.read_block(1, v, t), reference.read_block(1, v, t));
+    }
+  }
+  EXPECT_THROW(store.read_block(0, 3, 0), InvalidArgument);
+  EXPECT_THROW(store.read_block(0, 0, 2), InvalidArgument);
+}
+
+TEST_F(PackedStoreTest, ReopenFromDisk) {
+  SyntheticVolume ball = make_ball_volume({16, 16, 16});
+  PackedFileBlockStore::write_store(path_, ball, {8, 8, 8});
+  PackedFileBlockStore reopened(path_);
+  EXPECT_EQ(reopened.desc().dims, Dims3(16, 16, 16));
+  EXPECT_EQ(reopened.grid().block_count(), 8u);
+  EXPECT_EQ(reopened.read_block(3, 0, 0).size(), 8u * 8 * 8);
+}
+
+TEST_F(PackedStoreTest, SingleFileHoldsEverything) {
+  SyntheticVolume ball = make_ball_volume({16, 16, 16});
+  PackedFileBlockStore store =
+      PackedFileBlockStore::write_store(path_, ball, {8, 8, 8});
+  // One file; payload bytes dominate (header+index are small).
+  u64 payload = 16u * 16 * 16 * 4;
+  EXPECT_GT(store.file_bytes(), payload);
+  EXPECT_LT(store.file_bytes(), payload + 4096);
+}
+
+TEST_F(PackedStoreTest, ConcurrentReadsAreSafe) {
+  SyntheticVolume ball = make_ball_volume({24, 24, 24});
+  SyntheticBlockStore reference(ball, {8, 8, 8});
+  PackedFileBlockStore store =
+      PackedFileBlockStore::write_store(path_, ball, {8, 8, 8});
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  for (int rep = 0; rep < 4; ++rep) {
+    for (BlockId id = 0; id < store.grid().block_count(); ++id) {
+      pool.submit([&, id] {
+        if (store.read_block(id, 0, 0) != reference.read_block(id, 0, 0)) {
+          ++mismatches;
+        }
+      });
+    }
+  }
+  pool.wait_idle();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(PackedStoreTest, RejectsCorruptFiles) {
+  // Wrong magic.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << "JUNKJUNKJUNK";
+  }
+  EXPECT_THROW(PackedFileBlockStore{path_}, IoError);
+  // Truncated store.
+  SyntheticVolume ball = make_ball_volume({16, 16, 16});
+  PackedFileBlockStore::write_store(path_, ball, {8, 8, 8});
+  fs::resize_file(path_, fs::file_size(path_) / 2);
+  PackedFileBlockStore truncated(path_);  // header+index still intact
+  EXPECT_THROW(truncated.read_block(7, 0, 0), IoError);
+}
+
+TEST_F(PackedStoreTest, MissingFileThrows) {
+  EXPECT_THROW(PackedFileBlockStore("/nonexistent/store.vzpk"), IoError);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,97 @@
+#include "volume/tbon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/visibility.hpp"
+#include "util/error.hpp"
+#include "volume/generators.hpp"
+#include "volume/octree.hpp"
+
+namespace vizcache {
+namespace {
+
+struct TbonWorld {
+  SyntheticVolume climate = make_climate_volume({32, 32, 16}, 3, 4);
+  BlockGrid grid{{32, 32, 16}, {8, 8, 8}};
+  SyntheticBlockStore store{climate, {8, 8, 8}};
+  TemporalOctree tree = TemporalOctree::build(grid, store, 1);  // wind
+};
+
+TEST(TemporalOctree, SharedTopologyAcrossTimesteps) {
+  TbonWorld w;
+  EXPECT_EQ(w.tree.timestep_count(), 4u);
+  EXPECT_EQ(w.tree.leaf_count(), w.grid.block_count());
+  // The T-BON saving: per-step payload is small vs topology held once.
+  EXPECT_LT(w.tree.value_bytes_per_timestep(), w.tree.topology_bytes());
+}
+
+TEST(TemporalOctree, MatchesPerTimestepOctree) {
+  // Each timestep's range query must equal a dedicated single-timestep
+  // octree built from that step's metadata.
+  TbonWorld w;
+  for (usize t = 0; t < w.tree.timestep_count(); ++t) {
+    BlockMetadataTable metadata = BlockMetadataTable::build(w.store, 2, t);
+    // Single-step octree over variable 1 needs a metadata table whose
+    // variable 0 is the queried one; rebuild scoped to wind only.
+    for (auto [lo, hi] : {std::pair{0.2f, 0.4f}, std::pair{0.6f, 1.5f}}) {
+      auto expected = metadata.blocks_in_range(1, lo, hi);
+      auto got = w.tree.query_range(t, lo, hi);
+      EXPECT_EQ(got, expected) << "t=" << t << " lo=" << lo;
+    }
+  }
+}
+
+TEST(TemporalOctree, ValuesChangeAcrossTimesteps) {
+  // The drifting vortex changes which blocks hold high wind: at least one
+  // timestep pair must answer a core-range query differently.
+  TbonWorld w;
+  auto first = w.tree.query_range(0, 0.6f, 10.0f);
+  bool any_difference = false;
+  for (usize t = 1; t < w.tree.timestep_count(); ++t) {
+    if (w.tree.query_range(t, 0.6f, 10.0f) != first) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TemporalOctree, FrustumRangeSubsetsRangeQuery) {
+  TbonWorld w;
+  Camera cam({3, 0, 0}, 25.0);
+  ConeFrustum f(cam);
+  for (usize t = 0; t < w.tree.timestep_count(); ++t) {
+    auto range_only = w.tree.query_range(t, 0.3f, 1.0f);
+    auto both = w.tree.query_frustum_range(t, f, 0.3f, 1.0f);
+    EXPECT_LE(both.size(), range_only.size());
+    EXPECT_TRUE(std::includes(range_only.begin(), range_only.end(),
+                              both.begin(), both.end()));
+  }
+}
+
+TEST(TemporalOctree, FrustumRangeMatchesBruteForce) {
+  TbonWorld w;
+  BlockBoundsIndex brute(w.grid);
+  Camera cam({2.8, 0.6, -0.4}, 30.0);
+  ConeFrustum f(cam);
+  for (usize t = 0; t < w.tree.timestep_count(); ++t) {
+    BlockMetadataTable metadata = BlockMetadataTable::build(w.store, 2, t);
+    auto visible = brute.visible_blocks(cam);
+    std::vector<BlockId> expected;
+    for (BlockId id : visible) {
+      if (metadata.intersects_range(id, 1, 0.25f, 0.9f)) {
+        expected.push_back(id);
+      }
+    }
+    EXPECT_EQ(w.tree.query_frustum_range(t, f, 0.25f, 0.9f), expected)
+        << "t=" << t;
+  }
+}
+
+TEST(TemporalOctree, InvalidQueriesThrow) {
+  TbonWorld w;
+  EXPECT_THROW(w.tree.query_range(9, 0.0f, 1.0f), InvalidArgument);
+  EXPECT_THROW(w.tree.query_range(0, 1.0f, 0.0f), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,38 @@
+#include "volume/volume_desc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vizcache {
+namespace {
+
+TEST(Dims3, VoxelsAndMaxAxis) {
+  Dims3 d{4, 6, 5};
+  EXPECT_EQ(d.voxels(), 120u);
+  EXPECT_EQ(d.max_axis(), 6u);
+  EXPECT_EQ(d.to_string(), "4x6x5");
+}
+
+TEST(Dims3, Equality) {
+  EXPECT_EQ(Dims3(1, 2, 3), Dims3(1, 2, 3));
+  EXPECT_FALSE(Dims3(1, 2, 3) == Dims3(3, 2, 1));
+}
+
+TEST(VolumeDesc, ByteAccounting) {
+  VolumeDesc d;
+  d.dims = {100, 50, 20};
+  d.variables = 3;
+  d.timesteps = 4;
+  d.bytes_per_value = 4;
+  EXPECT_EQ(d.field_bytes(), 100u * 50 * 20 * 4);
+  EXPECT_EQ(d.total_bytes(), d.field_bytes() * 3 * 4);
+}
+
+TEST(VolumeDesc, DefaultsAreFloat32SingleField) {
+  VolumeDesc d;
+  d.dims = {8, 8, 8};
+  EXPECT_EQ(d.bytes_per_value, 4u);
+  EXPECT_EQ(d.total_bytes(), 8u * 8 * 8 * 4);
+}
+
+}  // namespace
+}  // namespace vizcache
