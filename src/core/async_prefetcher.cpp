@@ -11,13 +11,15 @@ void AsyncPrefetcher::request(std::span<const BlockId> blocks, usize var,
                               usize timestep) {
   std::vector<BlockId> to_load;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (BlockId id : blocks) {
       if (cache_.count(id) || in_flight_.count(id)) continue;
       in_flight_.insert(id);
       to_load.push_back(id);
     }
   }
+  // submit() takes the pool's lock — deliberately outside our critical
+  // section so mutex_ stays a leaf lock.
   for (BlockId id : to_load) {
     pool_.submit([this, id, var, timestep] {
       // A failed background load must not wedge the block in the in-flight
@@ -34,7 +36,7 @@ void AsyncPrefetcher::request(std::span<const BlockId> blocks, usize var,
 }
 
 AsyncPrefetcher::Payload AsyncPrefetcher::get_if_ready(BlockId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = cache_.find(id);
   return it == cache_.end() ? nullptr : it->second;
 }
@@ -42,7 +44,7 @@ AsyncPrefetcher::Payload AsyncPrefetcher::get_if_ready(BlockId id) const {
 AsyncPrefetcher::Payload AsyncPrefetcher::get_blocking(BlockId id, usize var,
                                                        usize timestep) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = cache_.find(id);
     if (it != cache_.end()) {
       ++stats_.demand_hits;
@@ -50,18 +52,23 @@ AsyncPrefetcher::Payload AsyncPrefetcher::get_blocking(BlockId id, usize var,
     }
     ++stats_.demand_misses;
   }
-  // Synchronous demand load. A racing prefetch of the same block is
-  // harmless: store_payload keeps whichever lands first.
-  std::vector<float> payload = store_.read_block(id, var, timestep);
-  store_payload(id, std::move(payload), /*prefetch=*/false);
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.at(id);
+  // Synchronous demand load, outside the lock (reads can take milliseconds).
+  auto payload = std::make_shared<const std::vector<float>>(
+      store_.read_block(id, var, timestep));
+  MutexLock lock(mutex_);
+  in_flight_.erase(id);
+  // A racing prefetch of the same block may have landed first; keep the
+  // incumbent. Never re-look-up after unlocking: a concurrent evict_except
+  // could empty the cache between insert and return (a race the stress
+  // suite caught as an unordered_map::at throw).
+  auto [it, inserted] = cache_.emplace(id, std::move(payload));
+  return it->second;
 }
 
 void AsyncPrefetcher::drain() { pool_.wait_idle(); }
 
 void AsyncPrefetcher::evict_except(const std::unordered_set<BlockId>& keep) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (keep.count(it->first)) {
       ++it;
@@ -72,24 +79,24 @@ void AsyncPrefetcher::evict_except(const std::unordered_set<BlockId>& keep) {
 }
 
 usize AsyncPrefetcher::cached_blocks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cache_.size();
 }
 
 AsyncPrefetcher::Stats AsyncPrefetcher::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void AsyncPrefetcher::note_failure(BlockId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   in_flight_.erase(id);
   ++stats_.failures;
 }
 
 void AsyncPrefetcher::store_payload(BlockId id, std::vector<float> payload,
                                     bool prefetch) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   in_flight_.erase(id);
   if (!cache_.count(id)) {
     cache_[id] =

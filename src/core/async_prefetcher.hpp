@@ -1,12 +1,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "util/annotated_mutex.hpp"
 #include "util/thread_pool.hpp"
 #include "volume/block_store.hpp"
 
@@ -16,6 +16,13 @@ namespace vizcache {
 /// block loading (from any BlockStore, e.g. disk bricks) with rendering on
 /// the main thread — the live counterpart of the simulated overlap model in
 /// VizPipeline. Payloads are cached in memory until evicted.
+///
+/// Thread-safety: every public method may be called from any thread. mutex_
+/// is a leaf lock: it is never held across a BlockStore read or across a
+/// ThreadPool call (submit/wait_idle take the pool's own lock — holding both
+/// would create a lock-order edge; see DESIGN.md, "Locking discipline").
+/// BlockStore::read_block must itself be const-thread-safe, which all
+/// in-repo stores are.
 class AsyncPrefetcher {
  public:
   using Payload = std::shared_ptr<const std::vector<float>>;
@@ -26,21 +33,22 @@ class AsyncPrefetcher {
 
   /// Queue background loads for blocks not yet cached or in flight.
   void request(std::span<const BlockId> blocks, usize var = 0,
-               usize timestep = 0);
+               usize timestep = 0) EXCLUDES(mutex_);
 
   /// Payload if already cached, nullptr otherwise (never blocks).
-  Payload get_if_ready(BlockId id) const;
+  Payload get_if_ready(BlockId id) const EXCLUDES(mutex_);
 
   /// Payload, loading synchronously on miss (counts a demand miss).
-  Payload get_blocking(BlockId id, usize var = 0, usize timestep = 0);
+  Payload get_blocking(BlockId id, usize var = 0, usize timestep = 0)
+      EXCLUDES(mutex_);
 
   /// Wait for all queued prefetches to land.
   void drain();
 
   /// Drop all cached payloads except `keep`.
-  void evict_except(const std::unordered_set<BlockId>& keep);
+  void evict_except(const std::unordered_set<BlockId>& keep) EXCLUDES(mutex_);
 
-  usize cached_blocks() const;
+  usize cached_blocks() const EXCLUDES(mutex_);
 
   struct Stats {
     u64 demand_hits = 0;    ///< get_blocking served from cache
@@ -48,18 +56,22 @@ class AsyncPrefetcher {
     u64 prefetched = 0;     ///< background loads completed
     u64 failures = 0;       ///< background loads that threw (I/O errors)
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mutex_);
 
  private:
-  void store_payload(BlockId id, std::vector<float> payload, bool prefetch);
-  void note_failure(BlockId id);
+  void store_payload(BlockId id, std::vector<float> payload, bool prefetch)
+      EXCLUDES(mutex_);
+  void note_failure(BlockId id) EXCLUDES(mutex_);
 
   const BlockStore& store_;
+  mutable Mutex mutex_;
+  std::unordered_map<BlockId, Payload> cache_ GUARDED_BY(mutex_);
+  std::unordered_set<BlockId> in_flight_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
+  /// Declared last on purpose: the pool is destroyed (and its workers
+  /// joined) before any state its tasks touch, so a forgotten drain can
+  /// never become a use-after-free of cache_/mutex_.
   ThreadPool pool_;
-  mutable std::mutex mutex_;
-  std::unordered_map<BlockId, Payload> cache_;
-  std::unordered_set<BlockId> in_flight_;
-  Stats stats_;
 };
 
 }  // namespace vizcache

@@ -34,6 +34,12 @@ struct ParallelRunResult {
 /// share of every view concurrently. A step's I/O time is the *makespan* —
 /// the slowest worker — so balance of the per-view working set across
 /// workers is what determines parallel efficiency.
+///
+/// Thread-safety: run() is a deterministic discrete-event simulation driven
+/// from the calling thread; per-worker state (hierarchies_) is sharded by
+/// worker index so a future real-thread execution of the fetch loop needs no
+/// locking beyond a join barrier per step. Concurrent run() calls on one
+/// instance are not supported (hierarchies_ is reset per run).
 class ParallelPipeline {
  public:
   /// The app-aware variant needs `table` + `importance` (as VizPipeline).

@@ -46,6 +46,11 @@ struct LookupCostModel {
 /// visible-block sets over the vicinal ball phi(v, r) (key <l, d>, value
 /// S_v). Dataset-independent — depends only on the block grid geometry and
 /// view parameters — unless entries are importance-trimmed.
+///
+/// Thread-safety: immutable after build()/load(), so all const queries are
+/// safe from any thread. The parallel build writes each entries_[i] from
+/// exactly one pool task (disjoint elements, sized before fan-out), which is
+/// race-free by construction — the TSan preset exercises this path.
 class VisibilityTable {
  public:
   /// Build by exhaustive cone-testing. `importance` is only required when

@@ -30,6 +30,12 @@ struct RaycastParams {
 /// Front-to-back compositing volume ray-caster. Perspective camera looking
 /// at the origin with the camera's cone angle as vertical field of view.
 /// Pass a ThreadPool to parallelize across image rows (optional).
+///
+/// Thread-safety: when a pool is given, each row of `image` is written by
+/// exactly one task (disjoint pixels; the Image is allocated up front), and
+/// `sampler` is invoked concurrently from the workers — it must be
+/// const-thread-safe (AsyncPrefetcher::get_if_ready and the block stores
+/// are). No locks are taken on the render hot path.
 Image raycast(const Camera& camera, const VolumeSampler& sampler,
               const TransferFunction& tf, const RaycastParams& params,
               ThreadPool* pool = nullptr);

@@ -29,6 +29,12 @@ struct CacheStats {
 /// BlockId, with a pluggable replacement policy and the paper's per-step
 /// protection rule (Algorithm 1: a victim's last-use step must be strictly
 /// below the current step).
+///
+/// Thread-safety: thread-compatible, not thread-safe — the hierarchy
+/// simulator mutates caches from one thread at a time (ParallelPipeline
+/// gives each simulated worker its own hierarchy slice precisely so no
+/// cross-thread sharing exists). Wrap in an externally annotated Mutex
+/// (util/annotated_mutex.hpp) before sharing across real threads.
 class BlockCache {
  public:
   using SizeFn = std::function<u64(BlockId)>;

@@ -1,0 +1,116 @@
+#pragma once
+
+// Capability-annotated synchronization primitives.
+//
+// Wraps std::mutex / std::condition_variable behind types that carry Clang's
+// thread-safety attributes, so `clang++ -Wthread-safety` statically checks the
+// locking discipline: every shared field is declared GUARDED_BY its mutex, and
+// the analysis rejects any access outside a critical section, double locks,
+// and forgotten unlocks. On other compilers (and in SWIG/doc runs) every macro
+// expands to nothing and Mutex is a zero-overhead shim over std::mutex.
+//
+// Repo rule (enforced by tools/lint.py): code under src/ must synchronize via
+// these wrappers — raw std::mutex / std::lock_guard / std::condition_variable
+// are reserved to this header, so nothing can bypass the analysis.
+//
+// Locking discipline (see DESIGN.md, "Locking discipline"): all vizcache
+// mutexes are *leaf* locks. Never acquire a second Mutex, call back into user
+// code, or call into another lock-holding subsystem (e.g. ThreadPool::submit)
+// while holding one.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define VIZ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VIZ_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) VIZ_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY VIZ_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) VIZ_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) VIZ_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) VIZ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) VIZ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  VIZ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  VIZ_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) VIZ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  VIZ_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) VIZ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  VIZ_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  VIZ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) VIZ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) VIZ_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) VIZ_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  VIZ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vizcache {
+
+/// std::mutex carrying the `capability` attribute so fields can be declared
+/// GUARDED_BY an instance and functions REQUIRES/EXCLUDES one.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII guard over a Mutex (the annotated std::lock_guard). The
+/// SCOPED_CAPABILITY attribute tells the analysis the capability is held for
+/// the guard's lifetime.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable usable with Mutex. wait() is declared REQUIRES(mutex):
+/// the caller must hold the lock, exactly as with std::condition_variable.
+/// The internal unlock/relock during the wait is invisible to the analysis
+/// (standard for condition variables — the capability is held again when
+/// wait() returns, which is what the annotations promise).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, sleep until notified, re-acquire.
+  /// Spurious wakeups possible — always wait in a predicate loop.
+  void wait(Mutex& mutex) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.m_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace vizcache

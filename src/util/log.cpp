@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/annotated_mutex.hpp"
 
 namespace vizcache {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+/// Serializes console output (stderr log lines and raw stdout writes) so
+/// concurrent writers emit whole lines. Leaf lock: nothing is called while
+/// it is held.
+Mutex g_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -26,8 +30,13 @@ LogLevel Log::level() { return g_level.load(); }
 
 void Log::write(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << "[vizcache " << level_tag(level) << "] " << msg << "\n";
+}
+
+void Log::write_stdout(const std::string& text) {
+  MutexLock lock(g_mutex);
+  std::cout << text << std::flush;
 }
 
 Log::Line::~Line() { Log::write(level_, os_.str()); }

@@ -17,6 +17,12 @@ class Log {
 
   static void write(LogLevel level, const std::string& msg);
 
+  /// Write `text` verbatim to stdout, serialized with the logger's mutex so
+  /// report output (e.g. TablePrinter) and log lines never interleave.
+  /// Console I/O is confined to util/log — the repo lint (tools/lint.py)
+  /// rejects std::cout/std::cerr anywhere else under src/.
+  static void write_stdout(const std::string& text);
+
   /// Stream-style helper: Log::Line(LogLevel::kInfo) << "x=" << x;
   class Line {
    public:

@@ -1,10 +1,10 @@
 #include "util/table_printer.hpp"
 
 #include <algorithm>
-#include <iostream>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace vizcache {
 
@@ -42,7 +42,7 @@ std::string TablePrinter::render(const std::string& title) const {
 }
 
 void TablePrinter::print(const std::string& title) const {
-  std::cout << render(title) << std::flush;
+  Log::write_stdout(render(title));
 }
 
 std::string TablePrinter::fmt(double v, int precision) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/error.hpp"
+
 namespace vizcache {
 
 ThreadPool::ThreadPool(usize threads) {
@@ -14,20 +16,25 @@ ThreadPool::ThreadPool(usize threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
+    if (stop_) return;  // second call: the first already joined the workers
     stop_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   auto fut = pt.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
+    VIZ_CHECK(!stop_, "ThreadPool::submit after shutdown began");
     queue_.push_back(std::move(pt));
   }
   cv_task_.notify_one();
@@ -35,12 +42,12 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!(queue_.empty() && active_ == 0)) cv_idle_.wait(mutex_);
 }
 
 usize ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -48,16 +55,16 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
-    task();
+    task();  // exceptions land in the task's future, never escape here
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }

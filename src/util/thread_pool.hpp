@@ -1,13 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/annotated_mutex.hpp"
 #include "util/types.hpp"
 
 namespace vizcache {
@@ -15,6 +14,11 @@ namespace vizcache {
 /// Fixed-size worker pool used by the asynchronous prefetch engine and the
 /// CPU ray-caster. Tasks are plain std::function<void()>; submit() returns a
 /// future for completion tracking.
+///
+/// Thread-safety: all public methods may be called from any thread. mutex_ is
+/// a leaf lock (never held while running a task or calling out). Shutdown is
+/// fail-loud: once shutdown() has begun — explicitly or via the destructor —
+/// submit() throws VizError instead of racing the worker teardown.
 class ThreadPool {
  public:
   /// Creates `threads` workers (>=1). Defaults to hardware concurrency.
@@ -25,26 +29,36 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; returns a future completed when the task finishes.
-  std::future<void> submit(std::function<void()> task);
+  /// Throws VizError if shutdown has begun (a silently dropped task would
+  /// leave its future forever pending).
+  std::future<void> submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Block until every task submitted so far has finished.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
+  /// Drain the queue, run every already-submitted task to completion, and
+  /// join the workers. Idempotent; called by the destructor. After this,
+  /// submit() throws. Must not be called from inside a pool task.
+  void shutdown() EXCLUDES(mutex_);
+
+  /// Workers are spawned in the constructor and only removed by shutdown(),
+  /// so reading the count is safe without the lock on any thread that can
+  /// still reach this pool.
   usize thread_count() const { return workers_.size(); }
 
   /// Number of tasks queued but not yet started.
-  usize pending() const;
+  usize pending() const EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::vector<std::thread> workers_;
-  usize active_ = 0;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_task_;  ///< signalled on submit() and shutdown()
+  CondVar cv_idle_;  ///< signalled when the pool drains to empty+idle
+  std::deque<std::packaged_task<void()>> queue_ GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_;  ///< set in ctor, cleared by shutdown()
+  usize active_ GUARDED_BY(mutex_) = 0;  ///< tasks currently executing
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vizcache

@@ -16,6 +16,11 @@ namespace vizcache {
 /// culling, and the min/max value interval of their subtree, so both
 /// view-dependent (frustum) and data-dependent (value range) queries prune
 /// whole subtrees instead of scanning every block.
+///
+/// Thread-safety: const-thread-safe. The tree is immutable after build(), so
+/// any number of threads may query concurrently; the only mutable member is
+/// the atomic last_visits_ diagnostics counter. Mutation (move-assign) needs
+/// external synchronization against concurrent queries.
 class BlockOctree {
  public:
   /// Build over `grid`; `metadata` (optional) supplies per-block min/max of

@@ -108,7 +108,7 @@ std::vector<float> PackedFileBlockStore::read_block(BlockId id, usize var,
   const u64 bytes = offsets_[entry + 1] - begin;
   std::vector<float> payload(bytes / sizeof(float));
 
-  std::lock_guard<std::mutex> lock(io_mutex_);
+  MutexLock lock(io_mutex_);
   file_.clear();
   file_.seekg(static_cast<std::streamoff>(payload_start_ + begin));
   file_.read(reinterpret_cast<char*>(payload.data()),

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotated_mutex.hpp"
 #include "volume/block_store.hpp"
 
 namespace vizcache {
@@ -45,9 +45,9 @@ class PackedFileBlockStore final : public BlockStore {
   VolumeDesc desc_;
   BlockGrid grid_;
   std::vector<u64> offsets_;
-  u64 payload_start_ = 0;        ///< file offset of the first payload byte
-  mutable std::ifstream file_;
-  mutable std::mutex io_mutex_;  ///< one seek+read at a time
+  u64 payload_start_ = 0;  ///< file offset of the first payload byte
+  mutable Mutex io_mutex_;  ///< one seek+read at a time (leaf lock)
+  mutable std::ifstream file_ GUARDED_BY(io_mutex_);
 };
 
 }  // namespace vizcache

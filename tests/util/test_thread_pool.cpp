@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace vizcache {
 namespace {
@@ -68,6 +72,62 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not hang
   SUCCEED();
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  // Regression: a submit racing worker teardown used to enqueue a task that
+  // could never run, leaving its future forever pending. Now it fails loudly.
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), VizError);
+}
+
+TEST(ThreadPool, ShutdownRunsEveryAcceptedTask) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 25; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.shutdown();  // must drain the queue, not drop it
+  EXPECT_EQ(counter.load(), 25);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.submit([] {}).get();
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op; destructor makes a third
+  EXPECT_THROW(pool.submit([] {}), VizError);
+}
+
+TEST(ThreadPool, SubmitFromRunningTaskDuringShutdownThrows) {
+  // A task still executing while shutdown() drains must see submit() fail
+  // loudly instead of wedging a task behind the exiting workers.
+  ThreadPool pool(1);
+  std::atomic<bool> threw{false};
+  pool.submit([&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      try {
+        pool.submit([] {});  // drained no-op until shutdown begins
+      } catch (const VizError&) {
+        threw = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  pool.shutdown();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ThreadPool, WaitIdleAfterShutdownReturns) {
+  ThreadPool pool(2);
+  pool.submit([] {}).get();
+  pool.shutdown();
+  pool.wait_idle();  // empty and idle: must return immediately
+  EXPECT_EQ(pool.pending(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""vizcache repository lint: invariants clang-tidy cannot express.
+
+Checks (over src/ by default):
+
+  pragma-once    every header's first directive is `#pragma once`
+  console-io     std::cout / std::cerr / printf confined to src/util/log.*
+                 (report printing goes through Log::write_stdout; examples
+                 and bench are outside the linted tree and may print freely)
+  naked-new      no `new` / `delete` expressions — ownership is RAII-only
+                 (std::make_shared / std::make_unique / containers)
+  raw-sync       no raw std::mutex / lock_guard / unique_lock / scoped_lock /
+                 condition_variable outside src/util/annotated_mutex.hpp —
+                 every acquisition must go through the capability-annotated
+                 wrapper so clang -Wthread-safety sees it
+  self-contained every header compiles standalone (needs a C++ compiler;
+                 enabled by --headers, on by default in CI's tidy job)
+
+Exit status 0 when clean, 1 when any check fails, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CONSOLE_IO_ALLOWLIST = {"src/util/log.cpp", "src/util/log.hpp"}
+RAW_SYNC_ALLOWLIST = {"src/util/annotated_mutex.hpp"}
+
+CONSOLE_IO_RE = re.compile(r"std::cout|std::cerr|\bfprintf\s*\(|(?<![\w:])printf\s*\(")
+RAW_SYNC_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_)?mutex\b"
+    r"|std::lock_guard\b|std::unique_lock\b|std::scoped_lock\b"
+    r"|std::condition_variable(?:_any)?\b"
+)
+NEW_RE = re.compile(r"\bnew\b")
+DELETE_RE = re.compile(r"\bdelete\b")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")  # deleted special members are fine
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replace comments and string/char literals with spaces, preserving
+    line structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(roots, exts):
+    for root in roots:
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in exts:
+                    yield os.path.join(dirpath, name)
+
+
+class Linter:
+    def __init__(self):
+        self.failures = []
+
+    def fail(self, path: str, line: int, check: str, message: str):
+        rel = os.path.relpath(path, REPO_ROOT)
+        self.failures.append(f"{rel}:{line}: [{check}] {message}")
+
+    # -- textual checks ------------------------------------------------------
+
+    def check_pragma_once(self, path: str, text: str):
+        if not path.endswith(".hpp"):
+            return
+        for lineno, line in enumerate(strip_comments_and_strings(text).splitlines(), 1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped != "#pragma once":
+                self.fail(path, lineno, "pragma-once",
+                          "first directive of a header must be `#pragma once`")
+            return
+        self.fail(path, 1, "pragma-once", "empty header")
+
+    def check_console_io(self, path: str, code: str):
+        if os.path.relpath(path, REPO_ROOT) in CONSOLE_IO_ALLOWLIST:
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = CONSOLE_IO_RE.search(line)
+            if m:
+                self.fail(path, lineno, "console-io",
+                          f"`{m.group(0).strip()}` outside util/log — route output "
+                          "through Log::write/Log::write_stdout")
+
+    def check_naked_new(self, path: str, code: str):
+        for lineno, line in enumerate(code.splitlines(), 1):
+            scrubbed = DELETED_FN_RE.sub("", line)
+            if NEW_RE.search(scrubbed):
+                self.fail(path, lineno, "naked-new",
+                          "`new` expression — use std::make_unique/make_shared "
+                          "or a container")
+            if DELETE_RE.search(scrubbed):
+                self.fail(path, lineno, "naked-new",
+                          "`delete` expression — ownership must be RAII")
+
+    def check_raw_sync(self, path: str, code: str):
+        if os.path.relpath(path, REPO_ROOT) in RAW_SYNC_ALLOWLIST:
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                self.fail(path, lineno, "raw-sync",
+                          f"`{m.group(0)}` — use vizcache::Mutex/MutexLock/CondVar "
+                          "from util/annotated_mutex.hpp so -Wthread-safety "
+                          "checks the acquisition")
+
+    # -- compile check -------------------------------------------------------
+
+    def check_self_contained(self, headers, compiler: str, std: str):
+        include_dir = os.path.join(REPO_ROOT, "src")
+        with tempfile.TemporaryDirectory(prefix="vizcache-lint-") as tmp:
+            probe = os.path.join(tmp, "probe.cpp")
+            for header in headers:
+                rel = os.path.relpath(header, include_dir)
+                with open(probe, "w", encoding="utf-8") as f:
+                    f.write(f'#include "{rel}"\n')
+                    # Including twice also proves the include guard works.
+                    f.write(f'#include "{rel}"\n')
+                cmd = [compiler, f"-std={std}", "-fsyntax-only",
+                       "-I", include_dir, probe]
+                proc = subprocess.run(cmd, capture_output=True, text=True)
+                if proc.returncode != 0:
+                    first_error = next(
+                        (l for l in proc.stderr.splitlines() if "error" in l),
+                        proc.stderr.strip().splitlines()[0] if proc.stderr.strip() else "compile failed")
+                    self.fail(header, 1, "self-contained",
+                              f"header does not compile standalone: {first_error}")
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="directories to lint (default: src/)")
+    parser.add_argument("--headers", action="store_true",
+                        help="also compile every header standalone (-fsyntax-only)")
+    parser.add_argument("--compiler", default=os.environ.get("CXX", "c++"),
+                        help="compiler for --headers (default: $CXX or c++)")
+    parser.add_argument("--std", default="c++20", help="language standard for --headers")
+    args = parser.parse_args(argv)
+
+    roots = [os.path.join(REPO_ROOT, p) for p in (args.paths or ["src"])]
+    for root in roots:
+        if not os.path.isdir(root):
+            print(f"lint: no such directory: {root}", file=sys.stderr)
+            return 2
+
+    linter = Linter()
+    headers = []
+    for path in iter_source_files(roots, {".hpp", ".cpp"}):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        code = strip_comments_and_strings(text)
+        linter.check_pragma_once(path, text)
+        linter.check_console_io(path, code)
+        linter.check_naked_new(path, code)
+        linter.check_raw_sync(path, code)
+        if path.endswith(".hpp"):
+            headers.append(path)
+
+    if args.headers:
+        linter.check_self_contained(headers, args.compiler, args.std)
+
+    if linter.failures:
+        for failure in linter.failures:
+            print(failure)
+        print(f"lint: {len(linter.failures)} failure(s)", file=sys.stderr)
+        return 1
+    n_headers = f", {len(headers)} headers compiled standalone" if args.headers else ""
+    print(f"lint: clean ({len(roots)} tree(s){n_headers})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
