@@ -1,0 +1,178 @@
+// Render hot-path benchmark: the block-coherent fast path (3D-DDA brick
+// traversal + transfer-function LUT + raw-pointer trilinear sampling)
+// against the retained scalar reference path (per-sample std::function
+// dispatch, piecewise-linear TF scan, pow opacity correction) on the same
+// fully-resident 3d_ball volume and camera.
+//
+// Writes BENCH_render.json (override with json=path) with ns/sample and
+// frames/s for both paths plus the speedup, so the render perf trajectory
+// is machine-readable from this PR onward.
+//
+// Extra key=value knobs: width/height (default 256), blocks (target block
+// count, default 512), step (ray step, default 0.005), json=path.
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
+#include "render/brick_sampler.hpp"
+#include "render/raycaster.hpp"
+
+using namespace vizcache;
+using namespace vizcache::bench;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PathTiming {
+  double frame_ms = 0.0;
+  double fps = 0.0;
+  double ns_per_sample = 0.0;
+  RaycastStats stats;
+};
+
+PathTiming time_path(usize frames, const std::function<Image(RaycastStats&)>& frame) {
+  PathTiming t;
+  RaycastStats warm;
+  frame(warm);  // warm-up: page in payloads, settle caches
+  double start = now_ms();
+  for (usize i = 0; i < frames; ++i) {
+    t.stats = RaycastStats{};
+    frame(t.stats);
+  }
+  double total = now_ms() - start;
+  t.frame_ms = total / static_cast<double>(frames);
+  t.fps = t.frame_ms > 0.0 ? 1000.0 / t.frame_ms : 0.0;
+  t.ns_per_sample = t.stats.samples
+                        ? t.frame_ms * 1e6 / static_cast<double>(t.stats.samples)
+                        : 0.0;
+  return t;
+}
+
+double max_channel_diff(const Image& a, const Image& b) {
+  double worst = 0.0;
+  for (usize y = 0; y < a.height(); ++y) {
+    for (usize x = 0; x < a.width(); ++x) {
+      const Rgba& pa = a.at(x, y);
+      const Rgba& pb = b.at(x, y);
+      worst = std::max({worst, std::abs(static_cast<double>(pa.r - pb.r)),
+                        std::abs(static_cast<double>(pa.g - pb.g)),
+                        std::abs(static_cast<double>(pa.b - pb.b)),
+                        std::abs(static_cast<double>(pa.a - pb.a))});
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::parse("render", argc, argv);
+  env.banner(
+      "render hot path: block-coherent DDA+LUT vs scalar reference "
+      "(fully resident 3d_ball)");
+
+  const usize width = static_cast<usize>(env.cfg.get_int("width", 256));
+  const usize height = static_cast<usize>(env.cfg.get_int("height", 256));
+  const usize target_blocks =
+      static_cast<usize>(env.cfg.get_int("blocks", 512));
+
+  SyntheticVolume volume = make_dataset(DatasetId::kBall3d, env.scale);
+  BlockGrid grid =
+      BlockGrid::with_target_block_count(volume.desc.dims, target_blocks);
+  SyntheticBlockStore store(std::move(volume), grid.block_dims());
+  ResidentBrickSet bricks(store.grid());
+  bricks.load_all(store);
+
+  RaycastParams params;
+  params.image_width = width;
+  params.image_height = height;
+  params.step_size = env.cfg.get_double("step", 0.005);
+
+  const Camera camera({2.2, 1.1, 0.8}, 40.0);
+  const TransferFunction tf = TransferFunction::fire();
+  const TransferFunctionLUT lut(tf, params.step_size);
+  const VolumeSampler reference = make_reference_sampler(bricks);
+  ThreadPool pool;  // hardware concurrency; 1 worker degrades to serial
+
+  const usize fast_frames = env.quick ? 3 : 8;
+  const usize ref_frames = env.quick ? 1 : 3;
+
+  Image fast_image(1, 1);
+  PathTiming fast = time_path(fast_frames, [&](RaycastStats& rs) {
+    Image img = raycast(camera, bricks, lut, params, &pool, &rs);
+    fast_image = img;
+    return img;
+  });
+  Image ref_image(1, 1);
+  PathTiming ref = time_path(ref_frames, [&](RaycastStats& rs) {
+    Image img = raycast(camera, reference, tf, params, &pool, &rs);
+    ref_image = img;
+    return img;
+  });
+
+  const double speedup = fast.frame_ms > 0.0 ? ref.frame_ms / fast.frame_ms : 0.0;
+  const double sample_speedup =
+      fast.ns_per_sample > 0.0 ? ref.ns_per_sample / fast.ns_per_sample : 0.0;
+  const double diff = max_channel_diff(fast_image, ref_image);
+
+  TablePrinter table({"path", "frame(ms)", "frames/s", "ns/sample", "samples",
+                      "rays", "composited"});
+  auto row = [&](const char* name, const PathTiming& t) {
+    table.row({name, TablePrinter::fmt(t.frame_ms, 2),
+               TablePrinter::fmt(t.fps, 2), TablePrinter::fmt(t.ns_per_sample, 2),
+               std::to_string(t.stats.samples), std::to_string(t.stats.rays),
+               std::to_string(t.stats.composited)});
+  };
+  row("reference", ref);
+  row("dda+lut", fast);
+  table.print("render hot path — " + std::to_string(width) + "x" +
+              std::to_string(height) + ", " +
+              std::to_string(grid.block_count()) + " blocks");
+  std::cout << "speedup (frame time): " << TablePrinter::fmt(speedup, 2)
+            << "x   (ns/sample): " << TablePrinter::fmt(sample_speedup, 2)
+            << "x\n"
+            << "max channel diff vs reference: " << diff
+            << (diff <= 0.05 ? "  [ok]" : "  [WARN: paths diverge]") << "\n"
+            << (speedup >= 3.0 ? "PASS" : "WARN")
+            << ": fast path is " << TablePrinter::fmt(speedup, 2)
+            << "x the reference (target >= 3x)\n";
+
+  JsonObject config;
+  config.string("dataset", "3d_ball")
+      .number("scale", env.scale)
+      .integer("width", static_cast<i64>(width))
+      .integer("height", static_cast<i64>(height))
+      .integer("blocks", static_cast<i64>(grid.block_count()))
+      .number("step_size", params.step_size)
+      .integer("lut_resolution", static_cast<i64>(lut.resolution()))
+      .boolean("quick", env.quick);
+  auto path_json = [](const PathTiming& t) {
+    JsonObject o;
+    o.number("frame_ms", t.frame_ms)
+        .number("frames_per_s", t.fps)
+        .number("ns_per_sample", t.ns_per_sample)
+        .integer("rays", static_cast<i64>(t.stats.rays))
+        .integer("samples", static_cast<i64>(t.stats.samples))
+        .integer("composited", static_cast<i64>(t.stats.composited));
+    return o;
+  };
+  JsonObject root;
+  root.string("bench", "render")
+      .object("config", std::move(config))
+      .object("reference", path_json(ref))
+      .object("dda_lut", path_json(fast))
+      .number("speedup_frame_time", speedup)
+      .number("speedup_ns_per_sample", sample_speedup)
+      .number("max_channel_diff", diff);
+  const std::string json_path = env.cfg.get_string("json", "BENCH_render.json");
+  root.write(json_path);
+  std::cout << "# json -> " << json_path << "\n";
+  return 0;
+}

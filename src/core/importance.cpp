@@ -12,44 +12,60 @@
 namespace vizcache {
 
 ImportanceTable ImportanceTable::build(const BlockStore& store, usize bins,
-                                       usize var, usize timestep) {
+                                       usize var, usize timestep,
+                                       ThreadPool* pool) {
   const usize n = store.grid().block_count();
   VIZ_REQUIRE(n > 0, "empty block grid");
 
   // Pass 1: global value range so entropies are comparable across blocks.
+  // Per-block extrema land in preallocated slots; the min/max reduction is
+  // serial, so the result is order-independent and deterministic.
+  std::vector<float> block_lo(n, std::numeric_limits<float>::infinity());
+  std::vector<float> block_hi(n, -std::numeric_limits<float>::infinity());
+  parallel_for(pool, 0, n, 1, [&](usize id_lo, usize id_hi) {
+    for (usize id = id_lo; id < id_hi; ++id) {
+      std::vector<float> payload =
+          store.read_block(static_cast<BlockId>(id), var, timestep);
+      for (float v : payload) {
+        block_lo[id] = std::min(block_lo[id], v);
+        block_hi[id] = std::max(block_hi[id], v);
+      }
+    }
+  });
   float lo = std::numeric_limits<float>::infinity();
   float hi = -std::numeric_limits<float>::infinity();
-  for (BlockId id = 0; id < n; ++id) {
-    std::vector<float> payload = store.read_block(id, var, timestep);
-    for (float v : payload) {
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
+  for (usize id = 0; id < n; ++id) {
+    lo = std::min(lo, block_lo[id]);
+    hi = std::max(hi, block_hi[id]);
   }
   if (!(lo < hi)) hi = lo + 1.0f;  // constant dataset
 
-  // Pass 2: per-block entropy.
+  // Pass 2: per-block entropy (each block writes only its own slot).
   ImportanceTable table;
   table.entropy_bits_.resize(n);
-  for (BlockId id = 0; id < n; ++id) {
-    std::vector<float> payload = store.read_block(id, var, timestep);
-    Histogram h(bins, static_cast<double>(lo), static_cast<double>(hi));
-    h.add(std::span<const float>(payload));
-    table.entropy_bits_[id] = h.entropy_bits();
-  }
+  parallel_for(pool, 0, n, 1, [&](usize id_lo, usize id_hi) {
+    for (usize id = id_lo; id < id_hi; ++id) {
+      std::vector<float> payload =
+          store.read_block(static_cast<BlockId>(id), var, timestep);
+      Histogram h(bins, static_cast<double>(lo), static_cast<double>(hi));
+      h.add(std::span<const float>(payload));
+      table.entropy_bits_[id] = h.entropy_bits();
+    }
+  });
   table.build_ranking();
   return table;
 }
 
 ImportanceTable ImportanceTable::build_gradient(const BlockStore& store,
-                                                usize var, usize timestep) {
+                                                usize var, usize timestep,
+                                                ThreadPool* pool) {
   const BlockGrid& grid = store.grid();
   const usize n = grid.block_count();
   VIZ_REQUIRE(n > 0, "empty block grid");
 
   ImportanceTable table;
   table.entropy_bits_.resize(n);
-  for (BlockId id = 0; id < n; ++id) {
+  auto score_block = [&](BlockId id) {
     std::vector<float> payload = store.read_block(id, var, timestep);
     Dims3 e = grid.block_voxel_extent(id);
     auto at = [&](usize x, usize y, usize z) {
@@ -77,7 +93,12 @@ ImportanceTable ImportanceTable::build_gradient(const BlockStore& store,
     }
     table.entropy_bits_[id] =
         samples ? sum / static_cast<double>(samples) : 0.0;
-  }
+  };
+  parallel_for(pool, 0, n, 1, [&](usize id_lo, usize id_hi) {
+    for (usize id = id_lo; id < id_hi; ++id) {
+      score_block(static_cast<BlockId>(id));
+    }
+  });
   table.build_ranking();
   return table;
 }

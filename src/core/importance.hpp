@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_pool.hpp"
 #include "volume/block_store.hpp"
 
 namespace vizcache {
@@ -16,17 +17,23 @@ class ImportanceTable {
  public:
   /// Scan every block of (var, timestep) once: first pass finds the global
   /// value range, second computes per-block histogram entropies with `bins`
-  /// equal bins over that range.
+  /// equal bins over that range. Both passes chunk across `pool` when one is
+  /// given (per-block partial results, serial reduction — the table is
+  /// identical regardless of pool size); `store.read_block` must then be
+  /// const-thread-safe, which every BlockStore in the repo is.
   static ImportanceTable build(const BlockStore& store, usize bins = 256,
-                               usize var = 0, usize timestep = 0);
+                               usize var = 0, usize timestep = 0,
+                               ThreadPool* pool = nullptr);
 
   /// Alternative metric: mean gradient magnitude per block (central
   /// differences inside the brick). High-gradient blocks carry surfaces and
   /// fronts; used by the importance-metric ablation to probe the paper's
   /// choice of Shannon entropy. Scores land in the same table type so every
   /// consumer (preload, trimming, prefetch filter) works unchanged.
+  /// Chunks across `pool` like build().
   static ImportanceTable build_gradient(const BlockStore& store,
-                                        usize var = 0, usize timestep = 0);
+                                        usize var = 0, usize timestep = 0,
+                                        ThreadPool* pool = nullptr);
 
   /// Degenerate baseline: a deterministic pseudo-random ranking (scores in
   /// (0, 1)). Importance-blind control for ablations.

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <future>
 
 #include "geom/camera.hpp"
 #include "util/error.hpp"
@@ -61,16 +60,11 @@ VisibilityTable VisibilityTable::build(const BlockGrid& grid,
     }
   };
 
-  if (pool && pool->thread_count() > 1) {
-    std::vector<std::future<void>> futures;
-    futures.reserve(table.positions_.size());
-    for (usize i = 0; i < table.positions_.size(); ++i) {
-      futures.push_back(pool->submit([&, i] { build_entry(i); }));
-    }
-    for (auto& f : futures) f.get();
-  } else {
-    for (usize i = 0; i < table.positions_.size(); ++i) build_entry(i);
-  }
+  // Entries are independent and deterministic (per-entry RNG stream), so the
+  // chunked loop gives the same table regardless of pool size.
+  parallel_for(pool, 0, table.positions_.size(), 1, [&](usize lo, usize hi) {
+    for (usize i = lo; i < hi; ++i) build_entry(i);
+  });
   return table;
 }
 

@@ -7,6 +7,7 @@
 namespace vizcache {
 
 Workbench::Workbench(const WorkbenchSpec& spec) : spec_(spec) {
+  pool_ = std::make_unique<ThreadPool>();  // hardware concurrency
   SyntheticVolume volume = make_dataset(spec_.dataset, spec_.scale);
   BlockGrid grid =
       BlockGrid::with_target_block_count(volume.desc.dims, spec_.target_blocks);
@@ -14,12 +15,12 @@ Workbench::Workbench(const WorkbenchSpec& spec) : spec_(spec) {
                                                  grid.block_dims());
   switch (spec_.importance_metric) {
     case WorkbenchSpec::ImportanceMetric::kEntropy:
-      importance_ = std::make_unique<ImportanceTable>(
-          ImportanceTable::build(*store_, spec_.entropy_bins));
+      importance_ = std::make_unique<ImportanceTable>(ImportanceTable::build(
+          *store_, spec_.entropy_bins, 0, 0, pool_.get()));
       break;
     case WorkbenchSpec::ImportanceMetric::kGradient:
       importance_ = std::make_unique<ImportanceTable>(
-          ImportanceTable::build_gradient(*store_));
+          ImportanceTable::build_gradient(*store_, 0, 0, pool_.get()));
       break;
     case WorkbenchSpec::ImportanceMetric::kRandom:
       importance_ = std::make_unique<ImportanceTable>(
@@ -65,7 +66,8 @@ void Workbench::rebuild_table(const OmegaSamplingSpec& omega,
   ts.path_step_deg = spec_.path_step_deg;
   ts.max_blocks_per_entry = spec_.max_blocks_per_entry;
   table_ = std::make_unique<VisibilityTable>(
-      VisibilityTable::build(store_->grid(), ts, importance_.get()));
+      VisibilityTable::build(store_->grid(), ts, importance_.get(),
+                             pool_.get()));
   VIZ_LOG_DEBUG << "T_visible rebuilt: " << table_->entry_count()
                 << " entries, mean " << table_->mean_entry_size()
                 << " blocks/entry";

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "core/pipeline.hpp"
+#include "util/thread_pool.hpp"
 #include "volume/datasets.hpp"
 
 namespace vizcache {
@@ -90,6 +91,9 @@ class Workbench {
   MemoryHierarchy make_hierarchy(PolicyKind policy) const;
 
   WorkbenchSpec spec_;
+  /// Worker pool for table construction (importance + visibility chunk their
+  /// block/entry loops over it). Declared first so it outlives every user.
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<BlockStore> store_;
   std::unique_ptr<ImportanceTable> importance_;
   std::unique_ptr<VisibilityTable> table_;

@@ -1,0 +1,66 @@
+#include "render/brick_sampler.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+ResidentBrickSet::ResidentBrickSet(const BlockGrid& grid)
+    : grid_(grid),
+      payloads_(grid.block_count()),
+      views_(grid.block_count()) {}
+
+BrickView ResidentBrickSet::brick(BlockId id) const {
+  VIZ_REQUIRE(id < views_.size(), "block id out of range");
+  return views_[id];
+}
+
+void ResidentBrickSet::load(const BlockStore& store, BlockId id, usize var,
+                            usize timestep) {
+  VIZ_REQUIRE(id < views_.size(), "block id out of range");
+  std::vector<float> payload = store.read_block(id, var, timestep);
+  VIZ_CHECK(payload.size() == grid_.block_voxels(id),
+            "block payload size does not match grid");
+  if (!views_[id].resident()) ++resident_count_;
+  payloads_[id] = std::move(payload);
+  const Dims3 o = grid_.block_voxel_origin(id);
+  const Dims3 e = grid_.block_voxel_extent(id);
+  views_[id] = {payloads_[id].data(), o.x, o.y, o.z, e.x, e.y, e.z};
+}
+
+void ResidentBrickSet::load_all(const BlockStore& store, usize var,
+                                usize timestep) {
+  for (usize id = 0; id < grid_.block_count(); ++id) {
+    load(store, static_cast<BlockId>(id), var, timestep);
+  }
+}
+
+void ResidentBrickSet::evict(BlockId id) {
+  VIZ_REQUIRE(id < views_.size(), "block id out of range");
+  if (!views_[id].resident()) return;
+  payloads_[id].clear();
+  payloads_[id].shrink_to_fit();
+  views_[id] = BrickView{};
+  --resident_count_;
+}
+
+bool ResidentBrickSet::resident(BlockId id) const {
+  VIZ_REQUIRE(id < views_.size(), "block id out of range");
+  return views_[id].resident();
+}
+
+std::function<std::optional<float>(const Vec3&)> make_reference_sampler(
+    const BrickSampler& bricks) {
+  const BrickSampler* src = &bricks;
+  return [src](const Vec3& p) -> std::optional<float> {
+    const BlockGrid& grid = src->grid();
+    BlockId id = grid.block_at_normalized(p);
+    if (id == kInvalidBlock) return std::nullopt;
+    BrickView view = src->brick(id);
+    if (!view.resident()) return std::nullopt;
+    return sample_brick_trilinear(grid.volume_dims(), view, p);
+  };
+}
+
+}  // namespace vizcache

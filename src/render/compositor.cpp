@@ -38,7 +38,7 @@ double block_set_depth(const Camera& camera, const BlockGrid& grid,
   return (centroid - camera.position()).norm();
 }
 
-Image composite_over(std::vector<PartialRender> partials) {
+Image composite_over(std::vector<PartialRender> partials, ThreadPool* pool) {
   VIZ_REQUIRE(!partials.empty(), "nothing to composite");
   const usize w = partials.front().image.width();
   const usize h = partials.front().image.height();
@@ -53,21 +53,25 @@ Image composite_over(std::vector<PartialRender> partials) {
             });
 
   Image out(w, h);
-  for (const PartialRender& p : partials) {
-    for (usize y = 0; y < h; ++y) {
-      for (usize x = 0; x < w; ++x) {
-        const Rgba& src = p.image.at(x, y);   // nearer layer
-        Rgba& dst = out.at(x, y);             // accumulated farther layers
-        // "src over dst" with premultiplied-style accumulation matching the
-        // raycaster's front-to-back output.
-        float inv = 1.0f - src.a;
-        dst.r = src.r + dst.r * inv;
-        dst.g = src.g + dst.g * inv;
-        dst.b = src.b + dst.b * inv;
-        dst.a = src.a + dst.a * inv;
+  // Rows are independent; layers are applied in depth order within each row,
+  // so the chunked loop composites bit-identically to the serial one.
+  parallel_for(pool, 0, h, 16, [&](usize row_lo, usize row_hi) {
+    for (const PartialRender& p : partials) {
+      for (usize y = row_lo; y < row_hi; ++y) {
+        for (usize x = 0; x < w; ++x) {
+          const Rgba& src = p.image.at(x, y);   // nearer layer
+          Rgba& dst = out.at(x, y);             // accumulated farther layers
+          // "src over dst" with premultiplied-style accumulation matching the
+          // raycaster's front-to-back output.
+          float inv = 1.0f - src.a;
+          dst.r = src.r + dst.r * inv;
+          dst.g = src.g + dst.g * inv;
+          dst.b = src.b + dst.b * inv;
+          dst.a = src.a + dst.a * inv;
+        }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -41,6 +41,11 @@ double block_set_depth(const Camera& camera, const BlockGrid& grid,
 /// regions are depth-separable along the view ray (e.g. slab partitions
 /// viewed down the slab axis); interleaved partitions composite
 /// approximately, as in real sort-last renderers.
-Image composite_over(std::vector<PartialRender> partials);
+///
+/// Pass a ThreadPool to chunk the pixel loop across rows (each row is
+/// written by exactly one task; layer order is preserved per pixel, so the
+/// result is identical with or without a pool).
+Image composite_over(std::vector<PartialRender> partials,
+                     ThreadPool* pool = nullptr);
 
 }  // namespace vizcache

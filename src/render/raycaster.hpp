@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "geom/camera.hpp"
+#include "render/brick_sampler.hpp"
 #include "render/image.hpp"
 #include "render/transfer_function.hpp"
 #include "util/thread_pool.hpp"
@@ -27,9 +28,22 @@ struct RaycastParams {
   float value_max = 1.0f;
 };
 
+/// Work counters filled by a render (all paths). `samples` counts data
+/// evaluations — the denominator of the bench's ns/sample metric.
+struct RaycastStats {
+  u64 rays = 0;        ///< rays that intersected the volume
+  u64 samples = 0;     ///< scalar data evaluations along those rays
+  u64 composited = 0;  ///< samples that contributed color (alpha > 0)
+};
+
 /// Front-to-back compositing volume ray-caster. Perspective camera looking
 /// at the origin with the camera's cone angle as vertical field of view.
 /// Pass a ThreadPool to parallelize across image rows (optional).
+///
+/// This overload is the retained scalar reference path: one VolumeSampler
+/// call per sample, piecewise-linear transfer-function scan, `pow` opacity
+/// correction. It is kept as the semantic baseline the block-coherent path
+/// is benchmarked and golden-tested against.
 ///
 /// Thread-safety: when a pool is given, each row of `image` is written by
 /// exactly one task (disjoint pixels; the Image is allocated up front), and
@@ -38,6 +52,21 @@ struct RaycastParams {
 /// are). No locks are taken on the render hot path.
 Image raycast(const Camera& camera, const VolumeSampler& sampler,
               const TransferFunction& tf, const RaycastParams& params,
-              ThreadPool* pool = nullptr);
+              ThreadPool* pool = nullptr, RaycastStats* stats = nullptr);
+
+/// Block-coherent fast path. Rays are marched through the block grid with a
+/// 3D-DDA: residency is resolved once per ray/block segment via
+/// `bricks.brick()`, resident segments are sampled through a raw pointer
+/// with trilinear filtering, and non-resident segments are skipped in O(1).
+/// Colors come from the precomputed `lut`, whose baked step size must match
+/// `params.step_size`. Sample positions are identical to the reference
+/// path's (t_k = t_entry + k*step with global k), so the two paths agree to
+/// LUT precision on the same residency set.
+///
+/// Thread-safety: same contract as the reference overload; `bricks.brick()`
+/// is called concurrently from render workers.
+Image raycast(const Camera& camera, const BrickSampler& bricks,
+              const TransferFunctionLUT& lut, const RaycastParams& params,
+              ThreadPool* pool = nullptr, RaycastStats* stats = nullptr);
 
 }  // namespace vizcache

@@ -1,6 +1,7 @@
 #include "render/transfer_function.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -56,6 +57,22 @@ TransferFunction TransferFunction::cool_warm() {
   return TransferFunction({{0.0f, {0.23f, 0.30f, 0.75f, 0.02f}},
                            {0.5f, {0.87f, 0.87f, 0.87f, 0.1f}},
                            {1.0f, {0.71f, 0.02f, 0.15f, 0.7f}}});
+}
+
+TransferFunctionLUT::TransferFunctionLUT(const TransferFunction& tf,
+                                         double step_size, usize resolution)
+    : step_size_(step_size) {
+  VIZ_REQUIRE(step_size > 0.0, "LUT step size must be positive");
+  VIZ_REQUIRE(resolution >= 1, "LUT needs at least one segment");
+  const float exponent = static_cast<float>(step_size * 10.0);
+  entries_.resize(resolution + 1);
+  for (usize i = 0; i <= resolution; ++i) {
+    const float v = static_cast<float>(i) / static_cast<float>(resolution);
+    const Rgba c = tf.sample(v);
+    const float ac = 1.0f - std::pow(1.0f - c.a, exponent);
+    entries_[i] = {c.r * ac, c.g * ac, c.b * ac, ac};
+  }
+  scale_ = static_cast<float>(resolution);
 }
 
 TransferFunction TransferFunction::iso_band(float lo, float hi, Rgba color) {

@@ -50,4 +50,54 @@ class TransferFunction {
   std::vector<ControlPoint> points_;
 };
 
+/// Precomputed lookup table over a TransferFunction, baked for one sampling
+/// step size. Each entry stores the *opacity-corrected, premultiplied* color
+///
+///   { r·ac, g·ac, b·ac, ac }   with   ac = 1 - (1 - a)^(step·10)
+///
+/// so the ray-caster inner loop is one lerp and four fused multiply-adds —
+/// no piecewise-linear scan and no `pow` per sample. Entries are sampled at
+/// the N+1 nodes v = i/N, which reproduces the piecewise-linear function
+/// exactly at the nodes; between nodes the residual comes only from the
+/// curvature `pow` introduces, bounded by Δslope/(4N) at the worst kink.
+/// The default N=1024 keeps every preset except a sharp iso_band below
+/// 1e-3 per channel; narrow-band functions should pass a higher resolution.
+class TransferFunctionLUT {
+ public:
+  /// Premultiplied, opacity-corrected RGBA (see class comment).
+  struct Entry {
+    float r = 0.0f;
+    float g = 0.0f;
+    float b = 0.0f;
+    float a = 0.0f;
+  };
+
+  /// Bakes `tf` for rays marched with `step_size`. `resolution` is the
+  /// number of segments N (the table holds N+1 node entries).
+  TransferFunctionLUT(const TransferFunction& tf, double step_size,
+                      usize resolution = 1024);
+
+  /// Linearly interpolated entry at a normalized value (clamped to [0,1]).
+  Entry sample(float value) const {
+    value = value < 0.0f ? 0.0f : (value > 1.0f ? 1.0f : value);
+    float u = value * scale_;
+    usize i0 = static_cast<usize>(u);
+    const usize last = entries_.size() - 2;
+    if (i0 > last) i0 = last;
+    const float t = u - static_cast<float>(i0);
+    const Entry& lo = entries_[i0];
+    const Entry& hi = entries_[i0 + 1];
+    return {lo.r + (hi.r - lo.r) * t, lo.g + (hi.g - lo.g) * t,
+            lo.b + (hi.b - lo.b) * t, lo.a + (hi.a - lo.a) * t};
+  }
+
+  usize resolution() const { return entries_.size() - 1; }
+  double step_size() const { return step_size_; }
+
+ private:
+  std::vector<Entry> entries_;  ///< resolution()+1 node samples
+  float scale_ = 0.0f;          ///< == resolution(), cached for sample()
+  double step_size_ = 0.0;
+};
+
 }  // namespace vizcache

@@ -17,17 +17,28 @@ BlockCache::BlockCache(u64 capacity_bytes,
   VIZ_REQUIRE(size_fn_ != nullptr, "cache needs a block size function");
 }
 
+void BlockCache::touch_at(LastUseMap::iterator it, u64 step) {
+  it->second = step;
+  policy_->on_access(it->first);
+}
+
 void BlockCache::touch(BlockId id, u64 step) {
   auto it = last_use_.find(id);
   VIZ_REQUIRE(it != last_use_.end(), "touch on non-resident block");
-  it->second = step;
-  policy_->on_access(id);
+  touch_at(it, step);
+}
+
+bool BlockCache::touch_if_resident(BlockId id, u64 step) {
+  auto it = last_use_.find(id);
+  if (it == last_use_.end()) return false;
+  touch_at(it, step);
+  return true;
 }
 
 BlockCache::InsertResult BlockCache::insert(BlockId id, u64 step) {
   InsertResult result;
-  if (contains(id)) {
-    touch(id, step);
+  if (auto it = last_use_.find(id); it != last_use_.end()) {
+    touch_at(it, step);
     return result;
   }
   const u64 bytes = size_fn_(id);
@@ -67,7 +78,7 @@ BlockCache::InsertResult BlockCache::insert(BlockId id, u64 step) {
     ++stats_.evictions;
     result.evicted.push_back(victim);
   }
-  last_use_[id] = step;
+  last_use_.try_emplace(id, step);  // single hash: the find above proved absence
   occupancy_bytes_ += bytes;
   policy_->on_insert(id);
   ++stats_.insertions;

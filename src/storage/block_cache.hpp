@@ -50,6 +50,11 @@ class BlockCache {
   /// must have checked contains().
   void touch(BlockId id, u64 step);
 
+  /// contains() + touch() fused into one hash lookup: refreshes `id` when
+  /// resident and reports whether it was. The residency probe of the
+  /// hierarchy's fetch path uses this so a hit costs one lookup, not two.
+  bool touch_if_resident(BlockId id, u64 step);
+
   /// Outcome of an insert attempt.
   struct InsertResult {
     bool inserted = false;
@@ -85,10 +90,17 @@ class BlockCache {
   void clear();
 
  private:
+  using LastUseMap = std::unordered_map<BlockId, u64>;
+
+  /// Shared tail of touch()/insert()-on-resident: refresh the timestamp via
+  /// an iterator already in hand, so the map is hashed exactly once per
+  /// lookup instead of once for contains() and again for the update.
+  void touch_at(LastUseMap::iterator it, u64 step);
+
   u64 capacity_bytes_;
   std::unique_ptr<ReplacementPolicy> policy_;
   SizeFn size_fn_;
-  std::unordered_map<BlockId, u64> last_use_;
+  LastUseMap last_use_;
   u64 occupancy_bytes_ = 0;
   CacheStats stats_;
 };

@@ -71,10 +71,12 @@ const BlockCache& MemoryHierarchy::cache(usize level) const {
 
 SimSeconds MemoryHierarchy::fetch_internal(BlockId id, u64 step, bool demand) {
   const u64 bytes = block_size_(id);
-  // Find the fastest level already holding the block.
+  // Find the fastest level already holding the block. The probe doubles as
+  // the access touch (one hash lookup instead of contains() + touch()); the
+  // serving level is always touched on this path, so fusing is safe.
   usize found = levels_.size();  // == backing store
   for (usize i = 0; i < levels_.size(); ++i) {
-    if (levels_[i].cache->contains(id)) {
+    if (levels_[i].cache->touch_if_resident(id, step)) {
       found = i;
       break;
     }
@@ -101,13 +103,11 @@ SimSeconds MemoryHierarchy::fetch_internal(BlockId id, u64 step, bool demand) {
   if (found == levels_.size()) {
     cost = backing_.transfer_time(bytes);
   } else if (found == 0) {
-    // Already fastest-resident: a demand read touches it; cost is the fast
-    // device's access time (negligible but nonzero).
-    levels_[0].cache->touch(id, step);
+    // Already fastest-resident (and touched by the probe above); cost is the
+    // fast device's access time (negligible but nonzero).
     return demand ? levels_[0].device.transfer_time(bytes) : 0.0;
   } else {
     cost = levels_[found].device.transfer_time(bytes);
-    levels_[found].cache->touch(id, step);
   }
 
   // Promote into all faster levels (staged placement HDD -> SSD -> DRAM).

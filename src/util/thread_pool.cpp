@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "util/error.hpp"
 
@@ -49,6 +51,109 @@ void ThreadPool::wait_idle() {
 usize ThreadPool::pending() const {
   MutexLock lock(mutex_);
   return queue_.size();
+}
+
+namespace {
+
+/// Shared state of one parallel_for. Heap-allocated and owned jointly by the
+/// caller and every helper task, so a helper that only gets scheduled after
+/// the caller has returned still finds live state — it then sees the range
+/// exhausted (or failed) and exits without calling `body`.
+struct ParallelForState {
+  ParallelForState(usize items_, usize grain_,
+                   std::function<void(usize, usize)> body_)
+      : items(items_), grain(grain_), body(std::move(body_)) {}
+
+  const usize items;  ///< range length (chunks indexed from 0)
+  const usize grain;
+  const std::function<void(usize, usize)> body;  ///< own copy: outlives caller
+  std::atomic<usize> next{0};        ///< next unclaimed item index
+  std::atomic<bool> failed{false};   ///< sticky: stop claiming new chunks
+  Mutex mutex;
+  CondVar cv_done;                              ///< signalled on inflight -> 0
+  usize inflight GUARDED_BY(mutex) = 0;         ///< participants in the loop
+  std::exception_ptr error GUARDED_BY(mutex);   ///< first failure, if any
+};
+
+/// Chunk-pulling loop run by the caller and by each helper task. Registers
+/// in `inflight` *before* claiming a chunk, so once a waiter observes
+/// inflight == 0 with the range exhausted, no body invocation is running or
+/// can ever start.
+void pull_chunks(ParallelForState& st) {
+  for (;;) {
+    {
+      MutexLock lock(st.mutex);
+      ++st.inflight;
+    }
+    usize i = st.next.fetch_add(st.grain);
+    bool claimed = i < st.items && !st.failed.load();
+    if (claimed) {
+      try {
+        st.body(i, std::min(st.items, i + st.grain));
+      } catch (...) {
+        MutexLock lock(st.mutex);
+        if (!st.error) st.error = std::current_exception();
+        st.failed.store(true);
+      }
+    }
+    {
+      MutexLock lock(st.mutex);
+      --st.inflight;
+      if (st.inflight == 0) st.cv_done.notify_all();
+    }
+    if (!claimed) return;
+  }
+}
+
+}  // namespace
+
+void ThreadPool::parallel_for(usize begin, usize end, usize grain,
+                              const std::function<void(usize, usize)>& body) {
+  VIZ_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
+  if (begin >= end) return;
+  const usize items = end - begin;
+  const usize chunks = (items + grain - 1) / grain;
+
+  // Body indices are offset by `begin` so the shared counter can start at 0.
+  auto offset_body = [begin, &body](usize lo, usize hi) {
+    body(begin + lo, begin + hi);
+  };
+  auto st = std::make_shared<ParallelForState>(
+      items, grain, std::function<void(usize, usize)>(offset_body));
+
+  // The caller participates too, so only chunks-1 helpers can ever be useful.
+  const usize helpers = std::min(thread_count(), chunks - 1);
+  for (usize i = 0; i < helpers; ++i) {
+    try {
+      // The future is dropped deliberately: completion is tracked through
+      // st->inflight, which (unlike the future) lets the caller return while
+      // never-started helpers are still queued behind busy workers — the key
+      // to nested parallel_for not deadlocking a saturated pool.
+      submit([st] { pull_chunks(*st); });
+    } catch (const VizError&) {
+      break;  // shutdown raced us: the caller alone still completes the range
+    }
+  }
+
+  pull_chunks(*st);
+  {
+    MutexLock lock(st->mutex);
+    while (st->inflight != 0) st->cv_done.wait(st->mutex);
+    if (st->error) std::rethrow_exception(st->error);
+  }
+}
+
+void parallel_for(ThreadPool* pool, usize begin, usize end, usize grain,
+                  const std::function<void(usize, usize)>& body) {
+  VIZ_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
+  if (begin >= end) return;
+  if (pool == nullptr || pool->thread_count() <= 1 || end - begin <= grain) {
+    for (usize i = begin; i < end; i += grain) {
+      body(i, std::min(end, i + grain));
+    }
+    return;
+  }
+  pool->parallel_for(begin, end, grain, body);
 }
 
 void ThreadPool::worker_loop() {

@@ -33,6 +33,24 @@ class ThreadPool {
   /// leave its future forever pending).
   std::future<void> submit(std::function<void()> task) EXCLUDES(mutex_);
 
+  /// Chunked parallel loop over [begin, end): `body(chunk_begin, chunk_end)`
+  /// is invoked for consecutive `grain`-sized chunks (the last one may be
+  /// short), each chunk exactly once. The calling thread and up to
+  /// thread_count() helper tasks pull chunks off one shared atomic counter —
+  /// a single heap allocation per helper instead of one future per index —
+  /// so load balances even when chunk costs are skewed.
+  ///
+  /// Blocks until every chunk has finished. The first exception thrown by
+  /// `body` is rethrown here; remaining unclaimed chunks are abandoned.
+  ///
+  /// Safe to call from inside a pool task (nested use): the caller always
+  /// participates, so the loop completes even if every worker is busy —
+  /// including on a 1-thread pool. Helper tasks that start after the range
+  /// is exhausted exit without touching `body`.
+  void parallel_for(usize begin, usize end, usize grain,
+                    const std::function<void(usize, usize)>& body)
+      EXCLUDES(mutex_);
+
   /// Block until every task submitted so far has finished.
   void wait_idle() EXCLUDES(mutex_);
 
@@ -60,5 +78,12 @@ class ThreadPool {
   usize active_ GUARDED_BY(mutex_) = 0;  ///< tasks currently executing
   bool stop_ GUARDED_BY(mutex_) = false;
 };
+
+/// parallel_for that degrades gracefully: serial (but identically chunked)
+/// when `pool` is null or single-threaded, pooled otherwise. This is the
+/// form the render/build hot paths call so every caller keeps its optional
+/// `ThreadPool*` parameter.
+void parallel_for(ThreadPool* pool, usize begin, usize end, usize grain,
+                  const std::function<void(usize, usize)>& body);
 
 }  // namespace vizcache

@@ -1,0 +1,209 @@
+#include "render/brick_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "render/raycaster.hpp"
+#include "util/error.hpp"
+#include "volume/block_store.hpp"
+#include "volume/generators.hpp"
+
+namespace vizcache {
+namespace {
+
+/// Fully-resident brick set over the analytic ball, bricked 4x4x4.
+struct BallScene {
+  BallScene()
+      : store(make_ball_volume({32, 32, 32}), {8, 8, 8}),
+        bricks(store.grid()) {
+    bricks.load_all(store);
+  }
+  SyntheticBlockStore store;
+  ResidentBrickSet bricks;
+};
+
+RaycastParams strict_params() {
+  RaycastParams p;
+  p.image_width = 48;
+  p.image_height = 48;
+  p.step_size = 0.02;
+  // Early termination compares accumulated alpha against a threshold; the
+  // two paths can disagree on the flip sample at default 0.98 and then
+  // diverge by a whole sample's contribution. Disable it for golden runs.
+  p.early_termination = 1.0f;
+  return p;
+}
+
+double max_channel_diff(const Image& a, const Image& b) {
+  double worst = 0.0;
+  for (usize y = 0; y < a.height(); ++y) {
+    for (usize x = 0; x < a.width(); ++x) {
+      const Rgba& pa = a.at(x, y);
+      const Rgba& pb = b.at(x, y);
+      worst = std::max({worst, std::abs(static_cast<double>(pa.r - pb.r)),
+                        std::abs(static_cast<double>(pa.g - pb.g)),
+                        std::abs(static_cast<double>(pa.b - pb.b)),
+                        std::abs(static_cast<double>(pa.a - pb.a))});
+    }
+  }
+  return worst;
+}
+
+/// Golden comparison: the block-coherent DDA+LUT image must match the
+/// retained scalar reference path within tol per channel.
+void expect_paths_agree(const BrickSampler& bricks, const TransferFunction& tf,
+                        const RaycastParams& p, double tol,
+                        usize lut_resolution = 1024) {
+  const Camera cam({2.4, 1.2, 0.7}, 38.0);
+  const TransferFunctionLUT lut(tf, p.step_size, lut_resolution);
+  Image fast = raycast(cam, bricks, lut, p);
+  Image ref = raycast(cam, make_reference_sampler(bricks), tf, p);
+  EXPECT_LT(max_channel_diff(fast, ref), tol);
+  // And the image is not trivially empty — agreement on black proves nothing.
+  EXPECT_GT(fast.coverage(), 0.05);
+}
+
+TEST(BrickRaycaster, GoldenGrayscale) {
+  BallScene s;
+  expect_paths_agree(s.bricks, TransferFunction::grayscale(), strict_params(),
+                     1e-3);
+}
+
+TEST(BrickRaycaster, GoldenFire) {
+  BallScene s;
+  expect_paths_agree(s.bricks, TransferFunction::fire(), strict_params(),
+                     1e-3);
+}
+
+TEST(BrickRaycaster, GoldenCoolWarm) {
+  BallScene s;
+  expect_paths_agree(s.bricks, TransferFunction::cool_warm(), strict_params(),
+                     1e-3);
+}
+
+TEST(BrickRaycaster, GoldenIsoBandNeedsResolution) {
+  // A narrow iso band has steep opacity kinks: the default 1024-entry LUT
+  // smooths them past 1e-3, a denser table does not.
+  BallScene s;
+  TransferFunction band =
+      TransferFunction::iso_band(0.4f, 0.5f, {0.9f, 0.3f, 0.1f, 0.6f});
+  expect_paths_agree(s.bricks, band, strict_params(), 1e-3, 16384);
+}
+
+TEST(BrickRaycaster, GoldenWithDefaultEarlyTermination) {
+  // With early termination on, the flip sample may differ between paths, so
+  // only a loose per-channel bound holds.
+  BallScene s;
+  RaycastParams p = strict_params();
+  p.early_termination = 0.98f;
+  expect_paths_agree(s.bricks, TransferFunction::fire(), p, 0.05);
+}
+
+TEST(BrickRaycaster, PartialResidencyMatchesReference) {
+  // Evict a handful of bricks: both paths must skip exactly the same
+  // regions (reference returns nullopt, DDA skips the segment in O(1)).
+  BallScene s;
+  const usize n = s.store.grid().block_count();
+  for (BlockId id = 0; id < n; id += 3) s.bricks.evict(id);
+  ASSERT_LT(s.bricks.resident_count(), n);
+  ASSERT_GT(s.bricks.resident_count(), 0u);
+  expect_paths_agree(s.bricks, TransferFunction::fire(), strict_params(),
+                     1e-3);
+}
+
+TEST(BrickRaycaster, EmptyResidencyGivesEmptyImage) {
+  BallScene s;
+  const usize n = s.store.grid().block_count();
+  for (BlockId id = 0; id < n; ++id) s.bricks.evict(id);
+  const TransferFunctionLUT lut(TransferFunction::fire(),
+                                strict_params().step_size);
+  Image img = raycast(Camera({3, 0, 0}, 40.0), s.bricks, lut, strict_params());
+  EXPECT_DOUBLE_EQ(img.coverage(), 0.0);
+}
+
+TEST(BrickRaycaster, ThreadPoolMatchesSerial) {
+  BallScene s;
+  const RaycastParams p = strict_params();
+  const TransferFunctionLUT lut(TransferFunction::fire(), p.step_size);
+  const Camera cam({2.4, 1.2, 0.7}, 38.0);
+  Image serial = raycast(cam, s.bricks, lut, p, nullptr);
+  ThreadPool pool(4);
+  Image parallel = raycast(cam, s.bricks, lut, p, &pool);
+  for (usize y = 0; y < p.image_height; ++y) {
+    for (usize x = 0; x < p.image_width; ++x) {
+      EXPECT_FLOAT_EQ(serial.at(x, y).r, parallel.at(x, y).r);
+      EXPECT_FLOAT_EQ(serial.at(x, y).a, parallel.at(x, y).a);
+    }
+  }
+}
+
+TEST(BrickRaycaster, StatsCountRaysAndSamples) {
+  BallScene s;
+  const RaycastParams p = strict_params();
+  const TransferFunctionLUT lut(TransferFunction::fire(), p.step_size);
+  RaycastStats stats;
+  raycast(Camera({3, 0, 0}, 40.0), s.bricks, lut, p, nullptr, &stats);
+  // Rays are counted only when they intersect the volume bounds.
+  EXPECT_GT(stats.rays, 0u);
+  EXPECT_LE(stats.rays, p.image_width * p.image_height);
+  EXPECT_GT(stats.samples, 0u);
+  EXPECT_GT(stats.composited, 0u);
+  EXPECT_LE(stats.composited, stats.samples);
+}
+
+TEST(BrickRaycaster, MismatchedLutStepThrows) {
+  BallScene s;
+  RaycastParams p = strict_params();
+  const TransferFunctionLUT lut(TransferFunction::fire(), p.step_size * 2.0);
+  EXPECT_THROW(raycast(Camera({3, 0, 0}, 40.0), s.bricks, lut, p),
+               InvalidArgument);
+}
+
+TEST(ResidentBrickSet, LoadEvictTracksResidency) {
+  BallScene s;
+  const usize n = s.store.grid().block_count();
+  EXPECT_EQ(s.bricks.resident_count(), n);
+  EXPECT_TRUE(s.bricks.resident(0));
+  s.bricks.evict(0);
+  EXPECT_FALSE(s.bricks.resident(0));
+  EXPECT_EQ(s.bricks.resident_count(), n - 1);
+  EXPECT_FALSE(s.bricks.brick(0).resident());
+  s.bricks.load(s.store, 0);
+  EXPECT_TRUE(s.bricks.resident(0));
+  EXPECT_EQ(s.bricks.resident_count(), n);
+}
+
+TEST(TransferFunctionLUT, ExactAtNodesPremultiplied) {
+  const TransferFunction tf = TransferFunction::fire();
+  const double step = 0.01;
+  const TransferFunctionLUT lut(tf, step, 256);
+  for (usize i = 0; i <= 256; ++i) {
+    const float v = static_cast<float>(i) / 256.0f;
+    const Rgba c = tf.sample(v);
+    const float ac =
+        1.0f - std::pow(1.0f - c.a, static_cast<float>(step * 10.0));
+    const TransferFunctionLUT::Entry e = lut.sample(v);
+    EXPECT_NEAR(e.a, ac, 1e-6f);
+    EXPECT_NEAR(e.r, c.r * ac, 1e-6f);
+    EXPECT_NEAR(e.g, c.g * ac, 1e-6f);
+    EXPECT_NEAR(e.b, c.b * ac, 1e-6f);
+  }
+}
+
+TEST(TransferFunctionLUT, ClampsOutOfRangeAndValidates) {
+  const TransferFunction tf = TransferFunction::grayscale();
+  const TransferFunctionLUT lut(tf, 0.02);
+  const auto lo = lut.sample(-5.0f);
+  const auto lo2 = lut.sample(0.0f);
+  EXPECT_FLOAT_EQ(lo.a, lo2.a);
+  const auto hi = lut.sample(5.0f);
+  const auto hi2 = lut.sample(1.0f);
+  EXPECT_FLOAT_EQ(hi.a, hi2.a);
+  EXPECT_THROW(TransferFunctionLUT(tf, 0.0), InvalidArgument);
+  EXPECT_THROW(TransferFunctionLUT(tf, 0.02, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

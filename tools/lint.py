@@ -5,8 +5,10 @@ Checks (over src/ by default):
 
   pragma-once    every header's first directive is `#pragma once`
   console-io     std::cout / std::cerr / printf confined to src/util/log.*
-                 (report printing goes through Log::write_stdout; examples
-                 and bench are outside the linted tree and may print freely)
+                 (report printing goes through Log::write_stdout). bench/ and
+                 examples/ are command-line reports whose stdout IS the
+                 product, so the check is waived there — the other checks
+                 still apply when those trees are linted.
   naked-new      no `new` / `delete` expressions — ownership is RAII-only
                  (std::make_shared / std::make_unique / containers)
   raw-sync       no raw std::mutex / lock_guard / unique_lock / scoped_lock /
@@ -31,6 +33,8 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 CONSOLE_IO_ALLOWLIST = {"src/util/log.cpp", "src/util/log.hpp"}
+# Whole trees where printing to stdout is the point (reports, demos).
+CONSOLE_IO_ALLOWED_DIRS = ("bench" + os.sep, "examples" + os.sep)
 RAW_SYNC_ALLOWLIST = {"src/util/annotated_mutex.hpp"}
 
 CONSOLE_IO_RE = re.compile(r"std::cout|std::cerr|\bfprintf\s*\(|(?<![\w:])printf\s*\(")
@@ -108,7 +112,8 @@ class Linter:
         self.fail(path, 1, "pragma-once", "empty header")
 
     def check_console_io(self, path: str, code: str):
-        if os.path.relpath(path, REPO_ROOT) in CONSOLE_IO_ALLOWLIST:
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel in CONSOLE_IO_ALLOWLIST or rel.startswith(CONSOLE_IO_ALLOWED_DIRS):
             return
         for lineno, line in enumerate(code.splitlines(), 1):
             m = CONSOLE_IO_RE.search(line)
