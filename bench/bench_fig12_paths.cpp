@@ -39,11 +39,20 @@ int main(int argc, char** argv) {
   CsvWriter csv(env.csv_path(), {"path_kind", "degrees", "fifo_miss",
                                  "lru_miss", "opt_miss"});
 
+  bool exported = false;
   auto run_point = [&](const std::string& kind, const std::string& label,
                        const CameraPath& path) {
     double fifo = wb.run_baseline(PolicyKind::kFifo, path).fast_miss_rate;
     double lru = wb.run_baseline(PolicyKind::kLru, path).fast_miss_rate;
-    double opt = wb.run_app_aware(path).fast_miss_rate;
+    RunResult opt_run = wb.run_app_aware(path);
+    double opt = opt_run.fast_miss_rate;
+    if (!exported) {
+      // Timeline + metrics of the first sweep point (see fig13 for the
+      // OPT-vs-baseline overlap comparison; here one artifact suffices).
+      write_observability("bench_" + env.name + "_opt", opt_run.timeline,
+                          opt_run.metrics);
+      exported = true;
+    }
     auto ratio = [&](double base) {
       return base > 0.0 ? TablePrinter::fmt(opt / base, 2) : std::string("-");
     };

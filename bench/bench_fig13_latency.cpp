@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
                 {"cache_ratio", "degrees", "fifo_total_s", "lru_total_s",
                  "opt_total_s", "opt_io_s", "opt_prefetch_s", "opt_render_s"});
 
+  bool exported = false;
   for (double ratio : ratios) {
     WorkbenchSpec spec;
     spec.dataset = DatasetId::kBall3d;
@@ -53,6 +54,17 @@ int main(int argc, char** argv) {
       RunResult fifo = wb.run_baseline(PolicyKind::kFifo, path);
       RunResult lru = wb.run_baseline(PolicyKind::kLru, path);
       RunResult opt = wb.run_app_aware(path);
+
+      if (!exported) {
+        // Observability artifacts of the first sweep point: the OPT trace
+        // shows prefetch spans overlapping render spans (Algorithm 1 line
+        // 22), the LRU trace is strictly serial. CI uploads both.
+        write_observability("bench_" + env.name + "_opt", opt.timeline,
+                            opt.metrics);
+        write_observability("bench_" + env.name + "_lru", lru.timeline,
+                            lru.metrics);
+        exported = true;
+      }
 
       auto delta = [&](double base) {
         double pct = (opt.total_time - base) / base * 100.0;

@@ -168,6 +168,49 @@ void BenchEnv::banner(const std::string& what) const {
             << "# csv -> " << csv_path() << "\n";
 }
 
+JsonObject metrics_snapshot_json(const MetricsSnapshot& snapshot) {
+  JsonObject counters;
+  for (const auto& c : snapshot.counters) {
+    counters.integer(c.name, static_cast<i64>(c.value));
+  }
+  JsonObject gauges;
+  for (const auto& g : snapshot.gauges) {
+    gauges.number(g.name, g.value);
+  }
+  JsonObject histograms;
+  for (const auto& h : snapshot.histograms) {
+    JsonObject buckets;
+    for (usize i = 0; i < h.hist.buckets.size(); ++i) {
+      std::string label =
+          i < h.hist.bounds.size() ? "le_" + json_number(h.hist.bounds[i])
+                                   : std::string("le_inf");
+      buckets.integer(label, static_cast<i64>(h.hist.buckets[i]));
+    }
+    JsonObject one;
+    one.integer("count", static_cast<i64>(h.hist.count))
+        .number("sum", h.hist.sum)
+        .number("min", h.hist.min)
+        .number("max", h.hist.max)
+        .object("buckets", std::move(buckets));
+    histograms.object(h.name, std::move(one));
+  }
+  JsonObject out;
+  out.object("counters", std::move(counters))
+      .object("gauges", std::move(gauges))
+      .object("histograms", std::move(histograms));
+  return out;
+}
+
+void write_observability(const std::string& stem, const StepTimeline& timeline,
+                         const MetricsSnapshot& snapshot) {
+  const std::string trace_path = stem + ".trace.json";
+  const std::string metrics_path = stem + ".metrics.json";
+  timeline.write_chrome_trace(trace_path);
+  metrics_snapshot_json(snapshot).write(metrics_path);
+  std::cout << "# trace -> " << trace_path << "\n"
+            << "# metrics -> " << metrics_path << "\n";
+}
+
 CameraPath random_path(double lo_deg, double hi_deg, usize positions,
                        u64 seed) {
   RandomPathSpec spec;

@@ -7,6 +7,8 @@
 #include "core/workbench.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
+#include "util/metrics.hpp"
+#include "util/step_timeline.hpp"
 #include "util/table_printer.hpp"
 
 namespace vizcache::bench {
@@ -66,6 +68,18 @@ struct BenchEnv {
   /// is reproducible.
   void banner(const std::string& what) const;
 };
+
+/// A registry snapshot as a nested JsonObject: {"counters": {...},
+/// "gauges": {...}, "histograms": {name: {count, sum, min, max,
+/// "buckets": {"le_<bound>": n, ..., "le_inf": n}}}}. Names are already
+/// sorted in the snapshot, so output is diff-stable.
+JsonObject metrics_snapshot_json(const MetricsSnapshot& snapshot);
+
+/// Write a run's observability artifacts: `<stem>.trace.json` (Chrome
+/// trace-event JSON, load via chrome://tracing or ui.perfetto.dev) and
+/// `<stem>.metrics.json` (metrics_snapshot_json). Prints where they landed.
+void write_observability(const std::string& stem, const StepTimeline& timeline,
+                         const MetricsSnapshot& snapshot);
 
 /// Random-path helper matching the paper's "random path with view-direction
 /// changes between lo-hi degrees".

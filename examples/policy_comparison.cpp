@@ -88,14 +88,24 @@ int main(int argc, char** argv) {
                TablePrinter::fmt(r.io_time, 2),
                TablePrinter::fmt(r.prefetch_time, 2),
                TablePrinter::fmt(r.total_time, 2),
-               std::to_string(r.hierarchy.backing_reads)});
+               std::to_string(r.hierarchy.backing_reads())});
   };
 
   for (PolicyKind kind : policies) {
     report(policy_kind_name(kind), bench.run_baseline(kind, path));
   }
   report("BELADY(oracle)", bench.run_belady(path));
-  report("OPT(app-aware)", bench.run_app_aware(path));
+  RunResult opt = bench.run_app_aware(path);
+  report("OPT(app-aware)", opt);
+
+  // trace=path.json exports the app-aware run's step timeline as a Chrome
+  // trace (chrome://tracing / ui.perfetto.dev) — the demand/prefetch overlap
+  // made visible. Off by default: this example is about the summary table.
+  const std::string trace = cfg.get_string("trace", "");
+  if (!trace.empty()) {
+    opt.timeline.write_chrome_trace(trace);
+    std::cout << "app-aware trace -> " << trace << "\n";
+  }
 
   std::ostringstream title;
   title << dataset_name(spec.dataset) << ", "

@@ -62,9 +62,25 @@ int main(int argc, char** argv) {
   };
   report("FIFO", bench.run_baseline(PolicyKind::kFifo, path));
   report("LRU", bench.run_baseline(PolicyKind::kLru, path));
-  report("OPT (app-aware)", bench.run_app_aware(path));
+  RunResult opt = bench.run_app_aware(path);
+  report("OPT (app-aware)", opt);
   table.print("vizcache quickstart — " + std::to_string(path.size()) +
               " camera positions");
+
+  // 5. Every run also carries a step timeline; export the OPT run's as a
+  //    Chrome trace (open chrome://tracing or ui.perfetto.dev) to *see* the
+  //    prefetch spans running under the render spans. trace= disables.
+  const std::string trace = cfg.get_string("trace", "quickstart_opt.trace.json");
+  if (!trace.empty()) {
+    opt.timeline.write_chrome_trace(trace);
+    std::cout << "\ntrace     : " << trace << " ("
+              << opt.timeline.size() << " spans, "
+              << TablePrinter::fmt(
+                     opt.timeline.overlap_seconds(StepEvent::Kind::kPrefetch,
+                                                  StepEvent::Kind::kRender),
+                     2)
+              << "s of prefetch/render overlap)\n";
+  }
 
   std::cout << "\nOPT preloads important blocks, predicts the next view via "
                "T_visible,\nand overlaps prefetching with rendering — hence "

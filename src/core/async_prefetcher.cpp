@@ -43,20 +43,39 @@ AsyncPrefetcher::Payload AsyncPrefetcher::get_if_ready(BlockId id) const {
 
 AsyncPrefetcher::Payload AsyncPrefetcher::get_blocking(BlockId id, usize var,
                                                        usize timestep) {
+  bool marked_here = false;
   {
     MutexLock lock(mutex_);
     auto it = cache_.find(id);
     if (it != cache_.end()) {
       ++stats_.demand_hits;
+      if (metrics_.demand_hits) metrics_.demand_hits->inc();
       return it->second;
     }
     ++stats_.demand_misses;
+    if (metrics_.demand_misses) metrics_.demand_misses->inc();
+    // Mark the block in flight for the duration of the synchronous read so a
+    // concurrent request() cannot launch a duplicate background read of the
+    // same block. The marker is owned: if a background load already holds it,
+    // leave it alone — store_payload/note_failure erase it, not us, so a
+    // racing prefetch's bookkeeping can't be clobbered from this path.
+    marked_here = in_flight_.insert(id).second;
   }
   // Synchronous demand load, outside the lock (reads can take milliseconds).
-  auto payload = std::make_shared<const std::vector<float>>(
-      store_.read_block(id, var, timestep));
+  Payload payload;
+  try {
+    payload = std::make_shared<const std::vector<float>>(
+        store_.read_block(id, var, timestep));
+  } catch (...) {
+    // Release our marker on failure, else the block is wedged un-loadable.
+    if (marked_here) {
+      MutexLock lock(mutex_);
+      in_flight_.erase(id);
+    }
+    throw;
+  }
   MutexLock lock(mutex_);
-  in_flight_.erase(id);
+  if (marked_here) in_flight_.erase(id);
   // A racing prefetch of the same block may have landed first; keep the
   // incumbent. Never re-look-up after unlocking: a concurrent evict_except
   // could empty the cache between insert and return (a race the stress
@@ -88,10 +107,23 @@ AsyncPrefetcher::Stats AsyncPrefetcher::stats() const {
   return stats_;
 }
 
+void AsyncPrefetcher::bind_metrics(MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  if (registry == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.demand_hits = &registry->counter(prefix + ".demand_hits");
+  metrics_.demand_misses = &registry->counter(prefix + ".demand_misses");
+  metrics_.prefetched = &registry->counter(prefix + ".prefetched");
+  metrics_.failures = &registry->counter(prefix + ".failures");
+}
+
 void AsyncPrefetcher::note_failure(BlockId id) {
   MutexLock lock(mutex_);
   in_flight_.erase(id);
   ++stats_.failures;
+  if (metrics_.failures) metrics_.failures->inc();
 }
 
 void AsyncPrefetcher::store_payload(BlockId id, std::vector<float> payload,
@@ -102,7 +134,10 @@ void AsyncPrefetcher::store_payload(BlockId id, std::vector<float> payload,
     cache_[id] =
         std::make_shared<const std::vector<float>>(std::move(payload));
   }
-  if (prefetch) ++stats_.prefetched;
+  if (prefetch) {
+    ++stats_.prefetched;
+    if (metrics_.prefetched) metrics_.prefetched->inc();
+  }
 }
 
 }  // namespace vizcache

@@ -121,6 +121,14 @@ ImportanceTable ImportanceTable::build_random(usize block_count, u64 seed) {
   return table;
 }
 
+ImportanceTable ImportanceTable::from_scores(std::vector<double> scores) {
+  VIZ_REQUIRE(!scores.empty(), "empty score table");
+  ImportanceTable table;
+  table.entropy_bits_ = std::move(scores);
+  table.build_ranking();
+  return table;
+}
+
 void ImportanceTable::build_ranking() {
   ranked_.resize(entropy_bits_.size());
   std::iota(ranked_.begin(), ranked_.end(), 0);

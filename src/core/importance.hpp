@@ -39,6 +39,11 @@ class ImportanceTable {
   /// (0, 1)). Importance-blind control for ablations.
   static ImportanceTable build_random(usize block_count, u64 seed = 1);
 
+  /// Table with explicitly given per-block scores (scores[id] = entropy of
+  /// block id, in bits). For tests and ablations that need a handcrafted
+  /// ranking without scanning a dataset.
+  static ImportanceTable from_scores(std::vector<double> scores);
+
   usize block_count() const { return entropy_bits_.size(); }
 
   /// Entropy of one block in bits.

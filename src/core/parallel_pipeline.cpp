@@ -34,16 +34,29 @@ ParallelPipeline::ParallelPipeline(const BlockGrid& grid, Partition partition,
         std::max<u64>(1, dataset_bytes / n), cache_ratio, config_.policy,
         [g = &grid_](BlockId id) { return g->block_bytes(id); }));
   }
+  metrics_ = std::make_unique<MetricsRegistry>();
+  // Same prefix for every worker: the registry's find-or-create semantics
+  // make the shared instruments whole-run aggregates across workers.
+  for (MemoryHierarchy& h : hierarchies_) h.bind_metrics(metrics_.get());
+}
+
+MemoryHierarchy& ParallelPipeline::worker_hierarchy(usize w) {
+  VIZ_REQUIRE(w < hierarchies_.size(), "worker index out of range");
+  return hierarchies_[w];
 }
 
 ParallelRunResult ParallelPipeline::run(const CameraPath& path) {
   VIZ_REQUIRE(!path.empty(), "empty camera path");
   const usize n = partition_.worker_count();
   for (MemoryHierarchy& h : hierarchies_) h.reset();
+  metrics_->reset();
 
   ParallelRunResult result;
   result.workers.assign(n, {});
   result.steps.reserve(path.size());
+  MetricHistogram& step_hist = metrics_->histogram(
+      "pipeline.step.total_seconds", latency_seconds_bounds());
+  SimSeconds clock = 0.0;
 
   // Preload: each worker stages its own most-important blocks.
   if (config_.app_aware && config_.preload_important) {
@@ -95,11 +108,27 @@ ParallelRunResult ParallelPipeline::run(const CameraPath& path) {
     usize max_share = *std::max_element(worker_blocks.begin(), worker_blocks.end());
     sr.render_time = config_.render_model.frame_time(max_share);
 
+    // Timeline: each worker fetches its share from `clock`, then all join at
+    // the fetch barrier (the step's I/O makespan) and render concurrently.
+    const SimSeconds render_start = clock + sr.io_time;
+    for (usize w = 0; w < n; ++w) {
+      if (worker_blocks[w] > 0) {
+        result.timeline.record({StepEvent::Kind::kFetch, step,
+                                static_cast<u32>(w), clock,
+                                clock + worker_io[w], worker_blocks[w]});
+      }
+      result.timeline.record(
+          {StepEvent::Kind::kRender, step, static_cast<u32>(w), render_start,
+           render_start + config_.render_model.frame_time(worker_blocks[w]),
+           0});
+    }
+
     if (config_.app_aware) {
       sr.lookup_time = table_->lookup_time(config_.lookup_cost);
       const std::vector<BlockId>& predicted = table_->query(path[i].position());
 
       std::vector<SimSeconds> worker_pf(n, 0.0);
+      std::vector<usize> worker_pf_blocks(n, 0);
       std::vector<u64> budget(n);
       for (usize w = 0; w < n; ++w) {
         u64 cap = hierarchies_[w].cache(0).capacity_bytes();
@@ -126,16 +155,32 @@ ParallelRunResult ParallelPipeline::run(const CameraPath& path) {
         budget[w] -= bytes;
         SimSeconds t = hierarchies_[w].prefetch(id, step);
         worker_pf[w] += t;
+        ++worker_pf_blocks[w];
         result.workers[w].prefetch_time += t;
         ++sr.prefetched;
       }
       sr.prefetch_time = *std::max_element(worker_pf.begin(), worker_pf.end());
       sr.total_time = sr.io_time +
                       std::max(sr.render_time, sr.lookup_time + sr.prefetch_time);
+
+      // Timeline: the shared T_visible lookup runs once (worker 0's overlap
+      // lane), then each worker prefetches its share during the render.
+      result.timeline.record({StepEvent::Kind::kLookup, step, 0, render_start,
+                              render_start + sr.lookup_time, 0});
+      const SimSeconds prefetch_start = render_start + sr.lookup_time;
+      for (usize w = 0; w < n; ++w) {
+        if (worker_pf_blocks[w] == 0) continue;
+        result.timeline.record({StepEvent::Kind::kPrefetch, step,
+                                static_cast<u32>(w), prefetch_start,
+                                prefetch_start + worker_pf[w],
+                                worker_pf_blocks[w]});
+      }
     } else {
       sr.total_time = sr.io_time + sr.render_time;
     }
 
+    step_hist.observe(sr.total_time);
+    clock += sr.total_time;
     result.steps.push_back(sr);
   }
 
@@ -154,6 +199,15 @@ ParallelRunResult ParallelPipeline::run(const CameraPath& path) {
   }
   result.fetch_speedup =
       result.io_time > 0.0 ? summed_io_work / result.io_time : 1.0;
+  metrics_->counter("pipeline.steps").inc(path.size());
+  metrics_->counter("pipeline.workers").inc(n);
+  metrics_->gauge("pipeline.io_seconds").set(result.io_time);
+  metrics_->gauge("pipeline.prefetch_seconds").set(result.prefetch_time);
+  metrics_->gauge("pipeline.render_seconds").set(result.render_time);
+  metrics_->gauge("pipeline.total_seconds").set(result.total_time);
+  metrics_->gauge("pipeline.fast_miss_rate").set(result.fast_miss_rate);
+  metrics_->gauge("pipeline.fetch_speedup").set(result.fetch_speedup);
+  result.metrics = metrics_->snapshot();
   return result;
 }
 

@@ -17,6 +17,8 @@ struct WorkerStats {
 struct ParallelRunResult {
   std::vector<StepResult> steps;
   std::vector<WorkerStats> workers;
+  StepTimeline timeline;          ///< per-worker spans on the simulated clock
+  MetricsSnapshot metrics;        ///< registry snapshot taken at run end
   double fast_miss_rate = 0.0;
   SimSeconds io_time = 0.0;       ///< sum over steps of per-step makespans
   SimSeconds prefetch_time = 0.0; ///< idem for prefetch makespans
@@ -52,6 +54,15 @@ class ParallelPipeline {
 
   usize worker_count() const { return partition_.worker_count(); }
 
+  /// Worker `w`'s slice of the hierarchy (tests inspect per-worker caches).
+  MemoryHierarchy& worker_hierarchy(usize w);
+
+  /// The pipeline's metric registry. Every worker hierarchy binds to it
+  /// under the same prefix, so counters aggregate across workers; reset at
+  /// the start of every run(); ParallelRunResult::metrics is its end-of-run
+  /// snapshot.
+  MetricsRegistry& metrics() { return *metrics_; }
+
  private:
   const BlockGrid& grid_;
   Partition partition_;
@@ -60,6 +71,8 @@ class ParallelPipeline {
   const VisibilityTable* table_;
   BlockBoundsIndex bounds_;
   std::vector<MemoryHierarchy> hierarchies_;  ///< one per worker
+  /// Heap-owned for movability (see VizPipeline::metrics_).
+  std::unique_ptr<MetricsRegistry> metrics_;
 };
 
 }  // namespace vizcache

@@ -16,7 +16,9 @@ VizPipeline::VizPipeline(const BlockGrid& grid, MemoryHierarchy hierarchy,
       table_(table),
       importance_(importance),
       metadata_(metadata),
-      bounds_(grid) {
+      bounds_(grid),
+      metrics_(std::make_unique<MetricsRegistry>()) {
+  hierarchy_.bind_metrics(metrics_.get());
   if (config_.app_aware) {
     VIZ_REQUIRE(table_ != nullptr, "app-aware pipeline needs T_visible");
     VIZ_REQUIRE(importance_ != nullptr, "app-aware pipeline needs T_important");
@@ -29,6 +31,7 @@ RunResult VizPipeline::run(const CameraPath& path,
   VIZ_REQUIRE(schedule == nullptr || metadata_ != nullptr,
               "query schedules require a block metadata table");
   hierarchy_.reset();
+  metrics_->reset();
 
   // Algorithm 1 lines 1-7: initialization and importance preloading. Blocks
   // with entropy above sigma enter fast memory (capacity permitting), most
@@ -39,7 +42,10 @@ RunResult VizPipeline::run(const CameraPath& path,
     for (BlockId id : importance_->ranked()) {
       if (importance_->entropy(id) <= config_.sigma_bits) break;
       const u64 bytes = grid_.block_bytes(id);
-      if (bytes > budget) break;  // fill fast memory, never thrash it
+      // A block too large for the remaining budget does not end the preload:
+      // a smaller, less important block may still fit (the parallel pipeline
+      // always skipped instead of stopping; keep the two in lockstep).
+      if (bytes > budget) continue;  // fill fast memory, never thrash it
       hierarchy_.preload(id);
       budget -= bytes;
     }
@@ -47,11 +53,37 @@ RunResult VizPipeline::run(const CameraPath& path,
 
   RunResult result;
   result.steps.reserve(path.size());
+  MetricHistogram& step_hist = metrics_->histogram(
+      "pipeline.step.total_seconds", latency_seconds_bounds());
+  SimSeconds clock = 0.0;
   // Steps are 1-based so preloaded blocks (step 0) are evictable at step 1.
   for (usize i = 0; i < path.size(); ++i) {
     const RegionQuery* query =
         schedule ? &schedule->active_at(i) : nullptr;
-    result.steps.push_back(run_step(path[i], i + 1, query, result.trace));
+    const StepResult sr = run_step(path[i], i + 1, query, result.trace);
+    result.steps.push_back(sr);
+    step_hist.observe(sr.total_time);
+
+    // Timeline spans of this step on the run's simulated clock. Demand
+    // fetches come first; the render starts once they land; the app-aware
+    // lookup + prefetch pass runs concurrently with the render (Algorithm 1
+    // line 22) and lands on the overlap lane.
+    const SimSeconds render_start = clock + sr.io_time;
+    result.timeline.record({StepEvent::Kind::kFetch, sr.step, 0, clock,
+                            render_start, sr.visible_blocks});
+    result.timeline.record({StepEvent::Kind::kRender, sr.step, 0, render_start,
+                            render_start + sr.render_time, 0});
+    if (config_.app_aware) {
+      const SimSeconds lookup_end = render_start + sr.lookup_time;
+      result.timeline.record(
+          {StepEvent::Kind::kLookup, sr.step, 0, render_start, lookup_end, 0});
+      if (sr.prefetched > 0 || sr.prefetch_time > 0.0) {
+        result.timeline.record({StepEvent::Kind::kPrefetch, sr.step, 0,
+                                lookup_end, lookup_end + sr.prefetch_time,
+                                sr.prefetched});
+      }
+    }
+    clock += sr.total_time;
   }
 
   result.hierarchy = hierarchy_.stats();
@@ -64,6 +96,14 @@ RunResult VizPipeline::run(const CameraPath& path,
     result.render_time += s.render_time;
     result.total_time += s.total_time;
   }
+  metrics_->counter("pipeline.steps").inc(path.size());
+  metrics_->gauge("pipeline.io_seconds").set(result.io_time);
+  metrics_->gauge("pipeline.lookup_seconds").set(result.lookup_time);
+  metrics_->gauge("pipeline.prefetch_seconds").set(result.prefetch_time);
+  metrics_->gauge("pipeline.render_seconds").set(result.render_time);
+  metrics_->gauge("pipeline.total_seconds").set(result.total_time);
+  metrics_->gauge("pipeline.fast_miss_rate").set(result.fast_miss_rate);
+  result.metrics = metrics_->snapshot();
   return result;
 }
 

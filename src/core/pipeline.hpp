@@ -11,6 +11,8 @@
 #include "render/render_model.hpp"
 #include "storage/hierarchy.hpp"
 #include "storage/trace.hpp"
+#include "util/metrics.hpp"
+#include "util/step_timeline.hpp"
 
 namespace vizcache {
 
@@ -34,6 +36,8 @@ struct RunResult {
   std::vector<StepResult> steps;
   HierarchyStats hierarchy;
   TraceRecorder trace;          ///< demand accesses, for Belady replays
+  StepTimeline timeline;        ///< per-step spans on the simulated clock
+  MetricsSnapshot metrics;      ///< registry snapshot taken at run end
 
   double fast_miss_rate = 0.0;  ///< DRAM-level miss fraction
   double total_miss_rate = 0.0; ///< paper's multi-level miss rate
@@ -92,6 +96,12 @@ class VizPipeline {
 
   MemoryHierarchy& hierarchy() { return hierarchy_; }
 
+  /// The pipeline's metric registry (hierarchy + cache + pipeline
+  /// instruments). Reset at the start of every run(); RunResult::metrics is
+  /// its end-of-run snapshot. Exposed so harnesses can add their own
+  /// instruments to the same snapshot.
+  MetricsRegistry& metrics() { return *metrics_; }
+
  private:
   StepResult run_step(const Camera& camera, u64 step, const RegionQuery* query,
                       TraceRecorder& trace);
@@ -103,6 +113,10 @@ class VizPipeline {
   const ImportanceTable* importance_;
   const BlockMetadataTable* metadata_;
   BlockBoundsIndex bounds_;
+  /// Heap-owned so the pipeline stays movable (MetricsRegistry holds a
+  /// Mutex); instrument pointers bound into hierarchy_ stay valid across
+  /// moves because the registry owns its instruments by unique_ptr.
+  std::unique_ptr<MetricsRegistry> metrics_;
 };
 
 }  // namespace vizcache

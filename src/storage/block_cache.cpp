@@ -17,6 +17,19 @@ BlockCache::BlockCache(u64 capacity_bytes,
   VIZ_REQUIRE(size_fn_ != nullptr, "cache needs a block size function");
 }
 
+void BlockCache::bind_metrics(MetricsRegistry* registry,
+                              const std::string& prefix) {
+  if (registry == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.hits = &registry->counter(prefix + ".hits");
+  metrics_.misses = &registry->counter(prefix + ".misses");
+  metrics_.insertions = &registry->counter(prefix + ".insertions");
+  metrics_.evictions = &registry->counter(prefix + ".evictions");
+  metrics_.bypasses = &registry->counter(prefix + ".bypasses");
+}
+
 void BlockCache::touch_at(LastUseMap::iterator it, u64 step) {
   it->second = step;
   policy_->on_access(it->first);
@@ -44,6 +57,7 @@ BlockCache::InsertResult BlockCache::insert(BlockId id, u64 step) {
   const u64 bytes = size_fn_(id);
   if (bytes > capacity_bytes_) {
     ++stats_.bypasses;
+    if (metrics_.bypasses) metrics_.bypasses->inc();
     result.bypassed = true;
     return result;
   }
@@ -64,6 +78,7 @@ BlockCache::InsertResult BlockCache::insert(BlockId id, u64 step) {
     BlockId victim = policy_->choose_victim(evictable);
     if (victim == kInvalidBlock) {
       ++stats_.bypasses;
+      if (metrics_.bypasses) metrics_.bypasses->inc();
       result.bypassed = true;
       return result;
     }
@@ -76,12 +91,14 @@ BlockCache::InsertResult BlockCache::insert(BlockId id, u64 step) {
     last_use_.erase(victim);
     policy_->on_evict(victim);
     ++stats_.evictions;
+    if (metrics_.evictions) metrics_.evictions->inc();
     result.evicted.push_back(victim);
   }
   last_use_.try_emplace(id, step);  // single hash: the find above proved absence
   occupancy_bytes_ += bytes;
   policy_->on_insert(id);
   ++stats_.insertions;
+  if (metrics_.insertions) metrics_.insertions->inc();
   result.inserted = true;
   return result;
 }
@@ -93,6 +110,7 @@ bool BlockCache::erase(BlockId id) {
   last_use_.erase(it);
   policy_->on_evict(id);
   ++stats_.evictions;
+  if (metrics_.evictions) metrics_.evictions->inc();
   return true;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "storage/policy.hpp"
+#include "util/metrics.hpp"
 #include "util/types.hpp"
 
 namespace vizcache {
@@ -80,9 +81,21 @@ class BlockCache {
   std::vector<BlockId> resident_blocks() const;
 
   const CacheStats& stats() const { return stats_; }
-  void note_miss() { ++stats_.misses; }
-  void note_hit() { ++stats_.hits; }
+  void note_miss() {
+    ++stats_.misses;
+    if (metrics_.misses) metrics_.misses->inc();
+  }
+  void note_hit() {
+    ++stats_.hits;
+    if (metrics_.hits) metrics_.hits->inc();
+  }
   void reset_stats() { stats_ = {}; }
+
+  /// Mirror every future stats increment into `registry` under
+  /// `<prefix>.{hits,misses,insertions,evictions,bypasses}` (e.g. prefix
+  /// "cache.dram"). Call once before use; pass nullptr to detach. The
+  /// registry must outlive the cache (instrument references are cached).
+  void bind_metrics(MetricsRegistry* registry, const std::string& prefix);
 
   ReplacementPolicy& policy() { return *policy_; }
 
@@ -97,12 +110,22 @@ class BlockCache {
   /// lookup instead of once for contains() and again for the update.
   void touch_at(LastUseMap::iterator it, u64 step);
 
+  /// Registry instruments mirroring stats_; all null until bind_metrics.
+  struct BoundMetrics {
+    MetricCounter* hits = nullptr;
+    MetricCounter* misses = nullptr;
+    MetricCounter* insertions = nullptr;
+    MetricCounter* evictions = nullptr;
+    MetricCounter* bypasses = nullptr;
+  };
+
   u64 capacity_bytes_;
   std::unique_ptr<ReplacementPolicy> policy_;
   SizeFn size_fn_;
   LastUseMap last_use_;
   u64 occupancy_bytes_ = 0;
   CacheStats stats_;
+  BoundMetrics metrics_;
 };
 
 }  // namespace vizcache

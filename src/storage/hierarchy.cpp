@@ -54,6 +54,41 @@ MemoryHierarchy MemoryHierarchy::paper_testbed(u64 dataset_bytes,
   return MemoryHierarchy(std::move(specs), hdd_device(), std::move(block_size));
 }
 
+void MemoryHierarchy::bind_metrics(MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  if (registry == nullptr) {
+    metrics_ = {};
+    for (auto& l : levels_) l.cache->bind_metrics(nullptr, "");
+    return;
+  }
+  metrics_.demand_requests = &registry->counter(prefix + ".demand.requests");
+  metrics_.prefetch_requests =
+      &registry->counter(prefix + ".prefetch.requests");
+  metrics_.demand_backing_reads =
+      &registry->counter(prefix + ".demand.backing_reads");
+  metrics_.demand_backing_bytes =
+      &registry->counter(prefix + ".demand.backing_bytes");
+  metrics_.prefetch_backing_reads =
+      &registry->counter(prefix + ".prefetch.backing_reads");
+  metrics_.prefetch_backing_bytes =
+      &registry->counter(prefix + ".prefetch.backing_bytes");
+  metrics_.demand_io_seconds = &registry->gauge(prefix + ".demand.io_seconds");
+  metrics_.prefetch_io_seconds =
+      &registry->gauge(prefix + ".prefetch.io_seconds");
+  metrics_.demand_latency = &registry->histogram(
+      prefix + ".demand.latency_seconds", latency_seconds_bounds());
+  metrics_.prefetch_latency = &registry->histogram(
+      prefix + ".prefetch.latency_seconds", latency_seconds_bounds());
+  for (auto& l : levels_) {
+    std::string name;
+    name.reserve(l.name.size());
+    for (char c : l.name) {
+      name += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+    }
+    l.cache->bind_metrics(registry, "cache." + name);
+  }
+}
+
 const std::string& MemoryHierarchy::level_name(usize level) const {
   VIZ_REQUIRE(level < levels_.size(), "level out of range");
   return levels_[level].name;
@@ -93,9 +128,25 @@ SimSeconds MemoryHierarchy::fetch_internal(BlockId id, u64 step, bool demand) {
         break;
       }
     }
-    if (found == levels_.size()) {
-      ++stats_.backing_reads;
-      stats_.backing_bytes += bytes;
+  }
+  // The backing device does the read either way — a prefetch miss moves the
+  // same bytes over the same bus as a demand miss. Only the attribution
+  // differs, so the read is counted under the cause that triggered it.
+  if (found == levels_.size()) {
+    if (demand) {
+      ++stats_.demand_backing_reads;
+      stats_.demand_backing_bytes += bytes;
+      if (metrics_.demand_backing_reads) {
+        metrics_.demand_backing_reads->inc();
+        metrics_.demand_backing_bytes->inc(bytes);
+      }
+    } else {
+      ++stats_.prefetch_backing_reads;
+      stats_.prefetch_backing_bytes += bytes;
+      if (metrics_.prefetch_backing_reads) {
+        metrics_.prefetch_backing_reads->inc();
+        metrics_.prefetch_backing_bytes->inc(bytes);
+      }
     }
   }
 
@@ -121,15 +172,30 @@ SimSeconds MemoryHierarchy::fetch(BlockId id, u64 step) {
   ++stats_.demand_requests;
   SimSeconds t = fetch_internal(id, step, /*demand=*/true);
   stats_.demand_io_time += t;
+  if (metrics_.demand_requests) {
+    metrics_.demand_requests->inc();
+    metrics_.demand_io_seconds->add(t);
+    metrics_.demand_latency->observe(t);
+  }
   sync_level_stats();
   return t;
 }
 
 SimSeconds MemoryHierarchy::prefetch(BlockId id, u64 step) {
-  if (levels_.front().cache->contains(id)) return 0.0;
+  // A prefetch of a fastest-resident block must still refresh its protection
+  // timestamp: the predictor just said the block matters for step `step`, so
+  // leaving last_use at an older step would let the very next demand insert
+  // evict it. touch_if_resident fuses the residency probe and the refresh
+  // into one hash lookup.
+  if (levels_.front().cache->touch_if_resident(id, step)) return 0.0;
   ++stats_.prefetch_requests;
   SimSeconds t = fetch_internal(id, step, /*demand=*/false);
   stats_.prefetch_time += t;
+  if (metrics_.prefetch_requests) {
+    metrics_.prefetch_requests->inc();
+    metrics_.prefetch_io_seconds->add(t);
+    metrics_.prefetch_latency->observe(t);
+  }
   sync_level_stats();
   return t;
 }

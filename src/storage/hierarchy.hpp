@@ -7,6 +7,7 @@
 #include "storage/block_cache.hpp"
 #include "storage/device.hpp"
 #include "storage/policy.hpp"
+#include "util/metrics.hpp"
 
 namespace vizcache {
 
@@ -21,12 +22,22 @@ struct LevelSpec {
 /// Aggregate timing/counter results of a hierarchy run.
 struct HierarchyStats {
   std::vector<CacheStats> level;      ///< per caching level
-  u64 backing_reads = 0;              ///< reads served by the backing device
-  u64 backing_bytes = 0;
+  u64 demand_backing_reads = 0;       ///< backing reads caused by demand fetches
+  u64 demand_backing_bytes = 0;
+  u64 prefetch_backing_reads = 0;     ///< backing reads caused by prefetches
+  u64 prefetch_backing_bytes = 0;
   SimSeconds demand_io_time = 0.0;    ///< simulated time of demand fetches
   SimSeconds prefetch_time = 0.0;     ///< simulated time of prefetch fetches
   u64 demand_requests = 0;
   u64 prefetch_requests = 0;
+
+  /// All reads served by the backing device, regardless of cause.
+  u64 backing_reads() const {
+    return demand_backing_reads + prefetch_backing_reads;
+  }
+  u64 backing_bytes() const {
+    return demand_backing_bytes + prefetch_backing_bytes;
+  }
 
   /// Fastest-level (DRAM) miss fraction over demand requests.
   double fast_miss_rate() const;
@@ -82,6 +93,14 @@ class MemoryHierarchy {
   const HierarchyStats& stats() const { return stats_; }
   void reset_stats();
 
+  /// Mirror every future stats increment into `registry`: hierarchy-level
+  /// instruments under `<prefix>.{demand,prefetch}.*` and each cache level's
+  /// counters under `cache.<lowercased level name>.*` (e.g. `cache.dram.hits`).
+  /// Call once before use; pass nullptr to detach. The registry must outlive
+  /// the hierarchy.
+  void bind_metrics(MetricsRegistry* registry,
+                    const std::string& prefix = "hierarchy");
+
   /// Drop all cached blocks and stats (fresh run).
   void reset();
 
@@ -99,10 +118,25 @@ class MemoryHierarchy {
   /// Mirror per-cache counters into stats_.level.
   void sync_level_stats();
 
+  /// Registry instruments mirroring stats_; all null until bind_metrics.
+  struct BoundMetrics {
+    MetricCounter* demand_requests = nullptr;
+    MetricCounter* prefetch_requests = nullptr;
+    MetricCounter* demand_backing_reads = nullptr;
+    MetricCounter* demand_backing_bytes = nullptr;
+    MetricCounter* prefetch_backing_reads = nullptr;
+    MetricCounter* prefetch_backing_bytes = nullptr;
+    MetricGauge* demand_io_seconds = nullptr;
+    MetricGauge* prefetch_io_seconds = nullptr;
+    MetricHistogram* demand_latency = nullptr;
+    MetricHistogram* prefetch_latency = nullptr;
+  };
+
   std::vector<Level> levels_;
   DeviceModel backing_;
   SizeFn block_size_;
   HierarchyStats stats_;
+  BoundMetrics metrics_;
 };
 
 }  // namespace vizcache

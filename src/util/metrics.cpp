@@ -1,0 +1,213 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void require_valid_name(const std::string& name) {
+  VIZ_REQUIRE(valid_metric_name(name),
+              "metric name must be lowercase dotted [a-z0-9._]: '" + name + "'");
+}
+
+}  // namespace
+
+MetricHistogram::MetricHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  VIZ_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  VIZ_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+              "histogram bounds must be strictly ascending");
+}
+
+void MetricHistogram::observe(double value) {
+  // Inclusive upper bounds (Prometheus `le` convention): a value exactly on
+  // a bound lands in that bound's bucket. lower_bound = first bound >= value.
+  const usize bucket =
+      static_cast<usize>(std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                         bounds_.begin());
+  MutexLock lock(mutex_);
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+u64 MetricHistogram::count() const {
+  MutexLock lock(mutex_);
+  return count_;
+}
+
+double MetricHistogram::sum() const {
+  MutexLock lock(mutex_);
+  return sum_;
+}
+
+HistogramSnapshot MetricHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  MutexLock lock(mutex_);
+  snap.buckets = buckets_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+void MetricHistogram::reset() {
+  MutexLock lock(mutex_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+std::vector<double> latency_seconds_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+}
+
+bool MetricsSnapshot::has_counter(const std::string& name) const {
+  return std::any_of(counters.begin(), counters.end(),
+                     [&](const CounterValue& c) { return c.name == name; });
+}
+
+bool MetricsSnapshot::has_gauge(const std::string& name) const {
+  return std::any_of(gauges.begin(), gauges.end(),
+                     [&](const GaugeValue& g) { return g.name == name; });
+}
+
+bool MetricsSnapshot::has_histogram(const std::string& name) const {
+  return std::any_of(histograms.begin(), histograms.end(),
+                     [&](const HistogramValue& h) { return h.name == name; });
+}
+
+u64 MetricsSnapshot::counter(const std::string& name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  throw InvalidArgument("no such counter in snapshot: " + name);
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  throw InvalidArgument("no such gauge in snapshot: " + name);
+}
+
+const HistogramSnapshot& MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return h.hist;
+  }
+  throw InvalidArgument("no such histogram in snapshot: " + name);
+}
+
+MetricCounter& MetricsRegistry::counter(const std::string& name) {
+  require_valid_name(name);
+  MutexLock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<MetricCounter>();
+  return *slot;
+}
+
+MetricGauge& MetricsRegistry::gauge(const std::string& name) {
+  require_valid_name(name);
+  MutexLock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<MetricGauge>();
+  return *slot;
+}
+
+MetricHistogram& MetricsRegistry::histogram(const std::string& name,
+                                            std::vector<double> bounds) {
+  require_valid_name(name);
+  if (bounds.empty()) bounds = latency_seconds_bounds();
+  MutexLock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<MetricHistogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  // Collect instrument pointers under the registry lock, mutate after
+  // releasing it: histogram reset takes the instrument's own leaf Mutex and
+  // no vizcache code path may hold two locks at once (DESIGN.md).
+  std::vector<MetricCounter*> counters;
+  std::vector<MetricGauge*> gauges;
+  std::vector<MetricHistogram*> histograms;
+  {
+    MutexLock lock(mutex_);
+    for (auto& [_, c] : counters_) counters.push_back(c.get());
+    for (auto& [_, g] : gauges_) gauges.push_back(g.get());
+    for (auto& [_, h] : histograms_) histograms.push_back(h.get());
+  }
+  for (MetricCounter* c : counters) c->reset();
+  for (MetricGauge* g : gauges) g->reset();
+  for (MetricHistogram* h : histograms) h->reset();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::vector<std::pair<std::string, const MetricCounter*>> counters;
+  std::vector<std::pair<std::string, const MetricGauge*>> gauges;
+  std::vector<std::pair<std::string, const MetricHistogram*>> histograms;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  // std::map iteration already yields names sorted ascending.
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters.size());
+  for (const auto& [name, c] : counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges.size());
+  for (const auto& [name, g] : gauges) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms.size());
+  for (const auto& [name, h] : histograms) {
+    snap.histograms.push_back({name, h->snapshot()});
+  }
+  return snap;
+}
+
+usize MetricsRegistry::counter_count() const {
+  MutexLock lock(mutex_);
+  return counters_.size();
+}
+
+usize MetricsRegistry::gauge_count() const {
+  MutexLock lock(mutex_);
+  return gauges_.size();
+}
+
+usize MetricsRegistry::histogram_count() const {
+  MutexLock lock(mutex_);
+  return histograms_.size();
+}
+
+}  // namespace vizcache

@@ -162,6 +162,102 @@ TEST(AsyncPrefetcherStress, FailedPrefetchesUnwedgeAndRetry) {
   EXPECT_EQ(pf.cached_blocks(), block_count);
 }
 
+/// Store that blocks the FIRST read of one chosen block until the gate
+/// opens (later reads of it pass straight through) and counts its reads.
+/// Lets a test hold a load mid-flight and probe what races against it.
+class GatedStore final : public BlockStore {
+ public:
+  GatedStore(const SyntheticBlockStore& inner, BlockId gated)
+      : inner_(inner), gated_(gated) {}
+
+  const BlockGrid& grid() const override { return inner_.grid(); }
+  const VolumeDesc& desc() const override { return inner_.desc(); }
+
+  std::vector<float> read_block(BlockId id, usize var,
+                                usize timestep) const override {
+    if (id == gated_) {
+      if (reads_.fetch_add(1, std::memory_order_relaxed) == 0) {
+        started_.store(true, std::memory_order_release);
+        while (!gate_.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+    }
+    return inner_.read_block(id, var, timestep);
+  }
+
+  void wait_started() const {
+    while (!started_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  void open_gate() { gate_.store(true, std::memory_order_release); }
+  u32 gated_reads() const { return reads_.load(std::memory_order_relaxed); }
+
+ private:
+  const SyntheticBlockStore& inner_;
+  const BlockId gated_;
+  mutable std::atomic<u32> reads_{0};
+  mutable std::atomic<bool> started_{false};
+  std::atomic<bool> gate_{false};
+};
+
+// Regression: get_blocking used to run its synchronous demand read without
+// marking the block in flight, so a request() issued while the demand read
+// was underway launched a duplicate background read of the same block.
+TEST(AsyncPrefetcherStress, DemandReadSuppressesDuplicatePrefetch) {
+  SyntheticBlockStore base = make_store();
+  GatedStore store(base, /*gated=*/0);
+  AsyncPrefetcher pf(store, 2);
+
+  // Demand reader blocks inside the store, holding block 0 mid-read.
+  std::thread reader([&] {
+    auto payload = pf.get_blocking(0);
+    ASSERT_NE(payload, nullptr);
+    EXPECT_EQ(*payload, base.read_block(0, 0, 0));
+  });
+  store.wait_started();
+
+  // A prefetch round arriving during the demand read must see the in-flight
+  // marker and skip block 0 instead of reading it again.
+  const BlockId ids[] = {0};
+  pf.request(ids);
+
+  store.open_gate();
+  reader.join();
+  pf.drain();
+  EXPECT_EQ(store.gated_reads(), 1u);
+  EXPECT_NE(pf.get_if_ready(0), nullptr);
+}
+
+// Regression: get_blocking used to erase the in-flight marker
+// unconditionally on completion — even when a background prefetch owned it.
+// The orphaned prefetch then slipped out of the duplicate-suppression set,
+// so the next request() round re-read a block that was still being loaded.
+TEST(AsyncPrefetcherStress, DemandReadKeepsRacingPrefetchMarker) {
+  SyntheticBlockStore base = make_store();
+  GatedStore store(base, /*gated=*/0);
+  AsyncPrefetcher pf(store, 2);
+
+  const BlockId ids[] = {0};
+  pf.request(ids);       // background read #1 blocks on the gate
+  store.wait_started();
+
+  auto payload = pf.get_blocking(0);  // read #2: passes, caches the payload
+  ASSERT_NE(payload, nullptr);
+  pf.evict_except({});   // empty the cache again
+
+  // Read #1 is still in flight; its marker must have survived get_blocking,
+  // so this round must not start read #3.
+  pf.request(ids);
+
+  store.open_gate();
+  pf.drain();            // read #1 lands and re-populates the cache
+  EXPECT_EQ(store.gated_reads(), 2u);
+  EXPECT_NE(pf.get_if_ready(0), nullptr);
+  EXPECT_EQ(pf.stats().failures, 0u);
+}
+
 TEST(AsyncPrefetcherStress, DestructionWithLoadsInFlight) {
   // The prefetcher must be safely destructible while background loads are
   // still landing (pool is the last member: workers join before state dies).

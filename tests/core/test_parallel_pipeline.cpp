@@ -128,6 +128,26 @@ TEST_F(ParallelTest, MismatchedPartitionThrows) {
                InvalidArgument);
 }
 
+TEST_F(ParallelTest, TimelineHasPerWorkerLanesAndOverlap) {
+  ParallelPipeline p = make(4, PartitionStrategy::kImportance, true);
+  ParallelRunResult r = p.run(path());
+  // Every worker renders every step in its own lane of the timeline.
+  auto renders = r.timeline.events_of(StepEvent::Kind::kRender);
+  EXPECT_EQ(renders.size(), r.steps.size() * 4u);
+  bool saw_last_worker = false;
+  for (const StepEvent& e : renders) saw_last_worker |= (e.worker == 3);
+  EXPECT_TRUE(saw_last_worker);
+  // App-aware workers prefetch while rendering (same-worker overlap only).
+  EXPECT_GT(r.timeline.overlap_seconds(StepEvent::Kind::kPrefetch,
+                                       StepEvent::Kind::kRender),
+            0.0);
+  // Shared registry: the metric counters aggregate across all workers.
+  EXPECT_EQ(r.metrics.counter("pipeline.workers"), 4u);
+  EXPECT_EQ(r.metrics.counter("pipeline.steps"), r.steps.size());
+  EXPECT_TRUE(r.metrics.has_counter("hierarchy.prefetch.requests"));
+  EXPECT_GT(r.metrics.counter("hierarchy.demand.requests"), 0u);
+}
+
 TEST_F(ParallelTest, AppAwareNeedsTables) {
   PipelineConfig cfg;
   cfg.app_aware = true;

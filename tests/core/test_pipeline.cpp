@@ -168,5 +168,69 @@ TEST_F(PipelineTest, PrefetchBudgetRespectsFastCapacity) {
   }
 }
 
+TEST_F(PipelineTest, TimelineShowsPrefetchOverlappingRender) {
+  // Algorithm 1 line 22 made visible: the app-aware run's prefetch spans
+  // must actually intersect render spans on the simulated clock, while the
+  // baseline records a strictly serial fetch->render timeline.
+  RunResult opt = bench_->run_app_aware(path());
+  EXPECT_FALSE(opt.timeline.events_of(StepEvent::Kind::kLookup).empty());
+  EXPECT_FALSE(opt.timeline.events_of(StepEvent::Kind::kPrefetch).empty());
+  EXPECT_GT(opt.timeline.overlap_seconds(StepEvent::Kind::kPrefetch,
+                                         StepEvent::Kind::kRender),
+            0.0);
+
+  RunResult lru = bench_->run_baseline(PolicyKind::kLru, path());
+  EXPECT_TRUE(lru.timeline.events_of(StepEvent::Kind::kLookup).empty());
+  EXPECT_TRUE(lru.timeline.events_of(StepEvent::Kind::kPrefetch).empty());
+  EXPECT_DOUBLE_EQ(lru.timeline.overlap_seconds(StepEvent::Kind::kPrefetch,
+                                                StepEvent::Kind::kRender),
+                   0.0);
+}
+
+TEST_F(PipelineTest, TimelineSpansTheWholeRun) {
+  RunResult r = bench_->run_app_aware(path());
+  // One fetch and one render span per step; the last span ends exactly at
+  // the simulated wall clock the aggregate result reports.
+  EXPECT_EQ(r.timeline.events_of(StepEvent::Kind::kRender).size(),
+            r.steps.size());
+  EXPECT_NEAR(r.timeline.span_end(), r.total_time, 1e-9);
+}
+
+TEST_F(PipelineTest, MetricsSnapshotHasExpectedKeys) {
+  RunResult r = bench_->run_app_aware(path());
+  const MetricsSnapshot& m = r.metrics;
+  // Cache layer (per-level), hierarchy demand/prefetch split, pipeline
+  // aggregates — the same keys the CI snapshot check greps for.
+  EXPECT_TRUE(m.has_counter("cache.dram.hits"));
+  EXPECT_TRUE(m.has_counter("cache.ssd.misses"));
+  EXPECT_TRUE(m.has_counter("hierarchy.demand.backing_reads"));
+  EXPECT_TRUE(m.has_counter("hierarchy.prefetch.backing_reads"));
+  EXPECT_TRUE(m.has_gauge("pipeline.total_seconds"));
+  EXPECT_TRUE(m.has_histogram("pipeline.step.total_seconds"));
+
+  // The snapshot mirrors the stats structs, which stay the source of truth.
+  EXPECT_EQ(m.counter("hierarchy.demand.requests"),
+            r.hierarchy.demand_requests);
+  EXPECT_EQ(m.counter("hierarchy.prefetch.requests"),
+            r.hierarchy.prefetch_requests);
+  EXPECT_EQ(m.counter("hierarchy.demand.backing_reads"),
+            r.hierarchy.demand_backing_reads);
+  EXPECT_EQ(m.counter("pipeline.steps"), r.steps.size());
+  EXPECT_NEAR(m.gauge("pipeline.total_seconds"), r.total_time, 1e-9);
+  EXPECT_EQ(m.histogram("pipeline.step.total_seconds").count, r.steps.size());
+}
+
+TEST_F(PipelineTest, MetricsResetBetweenRuns) {
+  // Two runs on one pipeline must not double-count: run() resets the
+  // registry, so each RunResult carries that run's totals only.
+  CameraPath p = path();
+  RunResult a = bench_->run_app_aware(p);
+  RunResult b = bench_->run_app_aware(p);
+  EXPECT_EQ(a.metrics.counter("pipeline.steps"),
+            b.metrics.counter("pipeline.steps"));
+  EXPECT_EQ(a.metrics.counter("hierarchy.demand.requests"),
+            b.metrics.counter("hierarchy.demand.requests"));
+}
+
 }  // namespace
 }  // namespace vizcache

@@ -1,0 +1,92 @@
+// Preload-budget semantics shared by BOTH pipelines (Algorithm 1 line 7).
+// Regression: VizPipeline used to STOP preloading at the first
+// over-budget block (`break`) while ParallelPipeline SKIPPED it and kept
+// going (`continue`), so the two simulators preloaded different sets from
+// identical inputs. The unified semantics is skip-and-continue: a block too
+// large for the remaining fast-memory budget must not shadow a smaller,
+// less-important block that still fits.
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_pipeline.hpp"
+#include "core/pipeline.hpp"
+
+namespace vizcache {
+namespace {
+
+// Heterogeneous block sizes via a partial edge block: volume 20x4x4 split
+// into 6x4x4 bricks -> blocks 0..2 are 384 bytes, block 3 is 128 bytes
+// (dataset 1280 bytes). With cache_ratio 0.5 the DRAM level holds 320
+// bytes: block 0 (the most important) cannot fit, block 3 can.
+constexpr double kSigma = 2.0;
+
+BlockGrid make_grid() { return BlockGrid({20, 4, 4}, {6, 4, 4}); }
+
+ImportanceTable make_importance() {
+  // Ranking: 0 (10 bits), 3 (9 bits), then 1 and 2 below sigma.
+  return ImportanceTable::from_scores({10.0, 1.0, 1.0, 9.0});
+}
+
+VisibilityTable make_table(const BlockGrid& grid) {
+  VisibilityTableSpec spec;
+  spec.omega = {4, 8, 2, 5.0, 7.0};
+  spec.vicinal_samples = 2;
+  spec.view_angle_deg = 60.0;
+  return VisibilityTable::build(grid, spec);
+}
+
+PipelineConfig make_config() {
+  PipelineConfig cfg;
+  cfg.app_aware = true;
+  cfg.sigma_bits = kSigma;
+  return cfg;
+}
+
+// Wide-angle camera far out on +z: all four blocks are visible, so step 1's
+// fast-miss count directly reveals which blocks the preload staged.
+CameraPath make_path() { return {Camera({0.0, 0.0, 6.0}, 60.0)}; }
+
+TEST(PreloadBudget, SequentialSkipsOversizeBlockAndKeepsFilling) {
+  BlockGrid grid = make_grid();
+  ImportanceTable importance = make_importance();
+  VisibilityTable table = make_table(grid);
+  MemoryHierarchy h = MemoryHierarchy::paper_testbed(
+      1280, 0.5, PolicyKind::kLru,
+      [g = &grid](BlockId id) { return g->block_bytes(id); });
+  ASSERT_EQ(h.cache(0).capacity_bytes(), 320u);
+
+  VizPipeline pipe(grid, std::move(h), make_config(), &table, &importance);
+  RunResult r = pipe.run(make_path());
+  ASSERT_EQ(r.steps[0].visible_blocks, 4u);
+  // Block 0 (384 B) overflows the 320 B budget and is skipped; block 3
+  // (128 B) is preloaded. Under the old `break` nothing was preloaded and
+  // all four visible blocks missed.
+  EXPECT_EQ(r.steps[0].fast_misses, 3u);
+}
+
+TEST(PreloadBudget, ParallelAgreesWithSequential) {
+  BlockGrid grid = make_grid();
+  ImportanceTable importance = make_importance();
+  VisibilityTable table = make_table(grid);
+
+  // One worker: the parallel pipeline's preload must behave exactly like
+  // the sequential one (same budget, same skip-and-continue semantics).
+  Partition partition = partition_round_robin(grid, 1);
+  ParallelPipeline par(grid, std::move(partition), make_config(), 0.5, &table,
+                       &importance);
+  ASSERT_EQ(par.worker_hierarchy(0).cache(0).capacity_bytes(), 320u);
+  ParallelRunResult pr = par.run(make_path());
+
+  MemoryHierarchy h = MemoryHierarchy::paper_testbed(
+      1280, 0.5, PolicyKind::kLru,
+      [g = &grid](BlockId id) { return g->block_bytes(id); });
+  VizPipeline pipe(grid, std::move(h), make_config(), &table, &importance);
+  RunResult sr = pipe.run(make_path());
+
+  ASSERT_EQ(pr.steps[0].visible_blocks, sr.steps[0].visible_blocks);
+  EXPECT_EQ(pr.steps[0].fast_misses, sr.steps[0].fast_misses);
+  EXPECT_EQ(pr.steps[0].fast_misses, 3u);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -130,7 +130,8 @@ TEST(GoldenModel, HierarchyMatchesReferenceOnRandomTraces) {
     const HierarchyStats& s = real.stats();
     EXPECT_EQ(s.level[0].hits + s.level[0].misses, s.demand_requests);
     EXPECT_EQ(s.level[1].hits + s.level[1].misses, s.level[0].misses);
-    EXPECT_EQ(s.backing_reads, s.level[1].misses);
+    EXPECT_EQ(s.demand_backing_reads, s.level[1].misses);
+    EXPECT_EQ(s.prefetch_backing_reads, 0u);  // demand-only workload
   }
 }
 

@@ -24,8 +24,8 @@ TEST(Hierarchy, ColdFetchComesFromBacking) {
   MemoryHierarchy h = make_two_level(2, 4);
   SimSeconds t = h.fetch(1, 1);
   EXPECT_DOUBLE_EQ(t, hdd_device().transfer_time(kBlock));
-  EXPECT_EQ(h.stats().backing_reads, 1u);
-  EXPECT_EQ(h.stats().backing_bytes, kBlock);
+  EXPECT_EQ(h.stats().backing_reads(), 1u);
+  EXPECT_EQ(h.stats().backing_bytes(), kBlock);
   // Promoted into both cache levels.
   EXPECT_TRUE(h.cache(0).contains(1));
   EXPECT_TRUE(h.cache(1).contains(1));
@@ -48,7 +48,7 @@ TEST(Hierarchy, EvictedFromDramServedBySsd) {
   EXPECT_TRUE(h.cache(1).contains(1));
   SimSeconds t = h.fetch(1, 3);
   EXPECT_DOUBLE_EQ(t, ssd_device().transfer_time(kBlock));
-  EXPECT_EQ(h.stats().backing_reads, 2u);  // no third HDD read
+  EXPECT_EQ(h.stats().backing_reads(), 2u);  // no third HDD read
 }
 
 TEST(Hierarchy, MissRatesAccumulate) {
@@ -87,6 +87,51 @@ TEST(Hierarchy, PrefetchOfResidentBlockIsFree) {
   EXPECT_EQ(h.stats().prefetch_requests, 0u);
 }
 
+// Regression: prefetch-triggered backing reads used to vanish from the
+// stats entirely (they were only counted on the demand path), making
+// prefetch I/O look free in every report that summed HDD traffic.
+TEST(Hierarchy, PrefetchBackingReadsAreCounted) {
+  MemoryHierarchy h = make_two_level(2, 4);
+  h.prefetch(1, 1);  // cold: must hit the backing store
+  EXPECT_EQ(h.stats().prefetch_backing_reads, 1u);
+  EXPECT_EQ(h.stats().prefetch_backing_bytes, kBlock);
+  EXPECT_EQ(h.stats().demand_backing_reads, 0u);
+  EXPECT_EQ(h.stats().backing_reads(), 1u);
+  EXPECT_EQ(h.stats().backing_bytes(), kBlock);
+
+  h.fetch(2, 1);  // cold demand fetch: attributed to the demand side
+  EXPECT_EQ(h.stats().demand_backing_reads, 1u);
+  EXPECT_EQ(h.stats().demand_backing_bytes, kBlock);
+  EXPECT_EQ(h.stats().prefetch_backing_reads, 1u);
+  EXPECT_EQ(h.stats().backing_reads(), 2u);
+
+  // A prefetch served by a cache level must not touch the backing counters:
+  // drop block 1 from DRAM only, leaving its SSD copy to serve the re-fetch.
+  ASSERT_TRUE(h.cache(1).contains(1));
+  h.cache(0).erase(1);
+  u64 before = h.stats().prefetch_backing_reads;
+  h.prefetch(1, 3);  // SSD-resident: promoted without a backing read
+  EXPECT_EQ(h.stats().prefetch_backing_reads, before);
+  EXPECT_EQ(h.stats().prefetch_requests, 2u);
+}
+
+// Regression: prefetching an already-fast-resident block used to be a pure
+// no-op that left the block's protection timestamp stale, so the very next
+// insert storm could evict the block the predictor just asked to keep.
+TEST(Hierarchy, ResidentPrefetchRefreshesProtection) {
+  MemoryHierarchy h = make_two_level(2, 4);
+  h.fetch(1, 1);     // resident with last_use = 1
+  h.prefetch(1, 2);  // predictor says block 1 matters at step 2
+  EXPECT_EQ(h.cache(0).last_use(1), 2u);
+
+  // Insert storm at step 2: DRAM (cap 2) must evict one block to take both
+  // newcomers. Block 1's refreshed timestamp (2 == current step) protects
+  // it; without the refresh its stale step-1 stamp makes it the victim.
+  h.fetch(2, 2);
+  h.fetch(3, 2);
+  EXPECT_TRUE(h.cache(0).contains(1));
+}
+
 TEST(Hierarchy, PreloadChargesNothing) {
   MemoryHierarchy h = make_two_level(2, 4);
   h.preload(3);
@@ -103,7 +148,7 @@ TEST(Hierarchy, ResetClearsCachesAndStats) {
   h.reset();
   EXPECT_FALSE(h.cache(0).contains(1));
   EXPECT_EQ(h.stats().demand_requests, 0u);
-  EXPECT_EQ(h.stats().backing_reads, 0u);
+  EXPECT_EQ(h.stats().backing_reads(), 0u);
   // Usable after reset.
   h.fetch(2, 1);
   EXPECT_TRUE(h.cache(0).contains(2));

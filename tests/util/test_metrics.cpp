@@ -1,0 +1,161 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(MetricCounter, StartsAtZeroAndAccumulates) {
+  MetricCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricGauge, SetAddReset) {
+  MetricGauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 3.25);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricHistogram, BucketsObservationsByUpperBound) {
+  MetricHistogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (bounds are inclusive upper bounds)
+  h.observe(7.0);    // <= 10
+  h.observe(1000.0); // overflow
+  HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 0u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 1008.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+TEST(MetricHistogram, RejectsBadBounds) {
+  EXPECT_THROW(MetricHistogram({}), InvalidArgument);
+  EXPECT_THROW(MetricHistogram({1.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(MetricHistogram({2.0, 1.0}), InvalidArgument);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableInstruments) {
+  MetricsRegistry reg;
+  MetricCounter& a = reg.counter("cache.dram.hits");
+  a.inc(3);
+  MetricCounter& b = reg.counter("cache.dram.hits");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.counter_count(), 1u);
+  reg.gauge("pipeline.total_seconds").set(1.0);
+  reg.histogram("hierarchy.demand.latency_seconds").observe(0.001);
+  EXPECT_EQ(reg.gauge_count(), 1u);
+  EXPECT_EQ(reg.histogram_count(), 1u);
+}
+
+TEST(MetricsRegistry, RejectsMalformedNames) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), InvalidArgument);
+  EXPECT_THROW(reg.counter("Cache.hits"), InvalidArgument);
+  EXPECT_THROW(reg.counter("cache hits"), InvalidArgument);
+  EXPECT_THROW(reg.counter(".cache.hits"), InvalidArgument);
+  EXPECT_THROW(reg.counter("cache.hits."), InvalidArgument);
+  EXPECT_NO_THROW(reg.counter("cache.l2_hits.v3"));
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b.two").inc(2);
+  reg.counter("a.one").inc(1);
+  reg.gauge("g.x").set(0.5);
+  reg.histogram("h.lat", {1.0}).observe(0.25);
+  MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.one");  // std::map iteration order
+  EXPECT_EQ(snap.counters[1].name, "b.two");
+  EXPECT_TRUE(snap.has_counter("a.one"));
+  EXPECT_FALSE(snap.has_counter("c.three"));
+  EXPECT_EQ(snap.counter("b.two"), 2u);
+  EXPECT_DOUBLE_EQ(snap.gauge("g.x"), 0.5);
+  EXPECT_EQ(snap.histogram("h.lat").count, 1u);
+  EXPECT_THROW(snap.counter("missing"), InvalidArgument);
+  EXPECT_THROW(snap.gauge("missing"), InvalidArgument);
+  EXPECT_THROW(snap.histogram("missing"), InvalidArgument);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  MetricCounter& c = reg.counter("x.count");
+  c.inc(7);
+  reg.gauge("x.gauge").set(3.0);
+  reg.histogram("x.hist", {1.0}).observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // same instrument, zeroed
+  EXPECT_EQ(reg.counter_count(), 1u);
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("x.count"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("x.gauge"), 0.0);
+  EXPECT_EQ(snap.histogram("x.hist").count, 0u);
+}
+
+TEST(LatencyBounds, AscendingAndSpanMicrosecondToSecond) {
+  std::vector<double> b = latency_seconds_bounds();
+  ASSERT_GE(b.size(), 2u);
+  for (usize i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  EXPECT_DOUBLE_EQ(b.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(b.back(), 1.0);
+}
+
+// Concurrency: many threads hammering the same registry — registrations
+// racing with increments, observations and snapshots. Exactness of the
+// totals is asserted; TSan (the sanitizer CI job) checks the rest.
+TEST(MetricsRegistryStress, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  constexpr usize kThreads = 8;
+  constexpr u64 kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (usize t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      MetricCounter& c = reg.counter("stress.count");
+      MetricGauge& g = reg.gauge("stress.gauge");
+      MetricHistogram& h = reg.histogram("stress.hist", {0.5});
+      for (u64 i = 0; i < kPerThread; ++i) {
+        c.inc();
+        g.add(1.0);
+        if (i % 100 == 0) h.observe((i / 100) % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  // Snapshot concurrently with the writers: must be safe (values torn only
+  // at instrument granularity, never corrupt).
+  MetricsSnapshot mid = reg.snapshot();
+  EXPECT_LE(mid.counters.size(), 1u);
+  for (std::thread& t : threads) t.join();
+
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("stress.count"), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.gauge("stress.gauge"),
+                   static_cast<double>(kThreads * kPerThread));
+  const HistogramSnapshot& h = snap.histogram("stress.hist");
+  EXPECT_EQ(h.count, kThreads * (kPerThread / 100));
+  EXPECT_EQ(h.buckets[0] + h.buckets[1], h.count);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a vizcache metrics-snapshot JSON artifact.
+
+CI runs the fig13 bench in quick mode and feeds the exported
+`*.metrics.json` through this script: a snapshot that silently lost one of
+the load-bearing instruments (a bind_metrics call dropped, a name renamed
+on one side only) fails the build instead of producing an empty dashboard.
+
+Usage:
+  check_metrics_snapshot.py snapshot.json [--app-aware]
+
+`--app-aware` additionally requires the prefetch-side instruments to be
+present AND non-zero (an app-aware run that never prefetched is a bug).
+
+Exit status 0 when the snapshot is complete, 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Instruments every pipeline run must export, whatever the policy.
+REQUIRED_COUNTERS = [
+    "cache.dram.hits",
+    "cache.dram.misses",
+    "cache.ssd.hits",
+    "cache.ssd.misses",
+    "hierarchy.demand.requests",
+    "hierarchy.demand.backing_reads",
+    "hierarchy.demand.backing_bytes",
+    "hierarchy.prefetch.backing_reads",
+    "pipeline.steps",
+]
+REQUIRED_GAUGES = [
+    "pipeline.io_seconds",
+    "pipeline.render_seconds",
+    "pipeline.total_seconds",
+    "pipeline.fast_miss_rate",
+]
+REQUIRED_HISTOGRAMS = [
+    "pipeline.step.total_seconds",
+]
+
+# Extra requirements for an app-aware (OPT) run: these must be non-zero.
+APP_AWARE_NONZERO_COUNTERS = [
+    "hierarchy.prefetch.requests",
+]
+
+
+def check(snapshot: dict, app_aware: bool) -> list[str]:
+    problems: list[str] = []
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snapshot.get(section), dict):
+            problems.append(f"missing or malformed section: {section}")
+    if problems:
+        return problems
+
+    counters = snapshot["counters"]
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            problems.append(f"missing counter: {name}")
+    for name in REQUIRED_GAUGES:
+        if name not in snapshot["gauges"]:
+            problems.append(f"missing gauge: {name}")
+    for name in REQUIRED_HISTOGRAMS:
+        hist = snapshot["histograms"].get(name)
+        if hist is None:
+            problems.append(f"missing histogram: {name}")
+        elif not isinstance(hist.get("buckets"), dict) or "count" not in hist:
+            problems.append(f"malformed histogram: {name}")
+
+    if app_aware:
+        for name in APP_AWARE_NONZERO_COUNTERS:
+            value = counters.get(name)
+            if value is None:
+                problems.append(f"missing counter: {name}")
+            elif value == 0:
+                problems.append(f"app-aware run but counter is zero: {name}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", help="path to a *.metrics.json artifact")
+    parser.add_argument(
+        "--app-aware",
+        action="store_true",
+        help="require non-zero prefetch instruments (OPT runs)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.snapshot, encoding="utf-8") as f:
+            snapshot = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_metrics_snapshot: cannot read {args.snapshot}: {e}",
+              file=sys.stderr)
+        return 1
+
+    problems = check(snapshot, args.app_aware)
+    for p in problems:
+        print(f"check_metrics_snapshot: {args.snapshot}: {p}", file=sys.stderr)
+    if not problems:
+        print(f"check_metrics_snapshot: {args.snapshot}: ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
