@@ -19,7 +19,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "core/async_prefetcher.hpp"
+#include "service/async_prefetcher.hpp"
 #include "core/importance.hpp"
 #include "core/visibility.hpp"
 #include "core/visibility_table.hpp"

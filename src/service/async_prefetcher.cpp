@@ -1,4 +1,4 @@
-#include "core/async_prefetcher.hpp"
+#include "service/async_prefetcher.hpp"
 
 namespace vizcache {
 
@@ -9,21 +9,23 @@ AsyncPrefetcher::~AsyncPrefetcher() { pool_.wait_idle(); }
 
 void AsyncPrefetcher::request(std::span<const BlockId> blocks, usize var,
                               usize timestep) {
-  std::vector<BlockId> to_load;
+  std::vector<BlockId> candidates;
   {
     MutexLock lock(mutex_);
     for (BlockId id : blocks) {
-      if (cache_.count(id) || in_flight_.count(id)) continue;
-      in_flight_.insert(id);
-      to_load.push_back(id);
+      if (cache_.count(id)) continue;
+      candidates.push_back(id);
     }
   }
-  // submit() takes the pool's lock — deliberately outside our critical
-  // section so mutex_ stays a leaf lock.
-  for (BlockId id : to_load) {
+  // Claim and submit outside the critical section: try_claim takes the
+  // coalescer's lock and submit() the pool's, and mutex_ must stay a leaf.
+  // A candidate whose claim fails is already being read (by another
+  // request() or a demand read) — the duplicate is suppressed.
+  for (BlockId id : candidates) {
+    if (!coalescer_.try_claim(id)) continue;
     pool_.submit([this, id, var, timestep] {
       // A failed background load must not wedge the block in the in-flight
-      // set: record the failure and let a later demand read retry (and
+      // table: record the failure and let a later demand read retry (and
       // surface the error synchronously if it persists).
       try {
         std::vector<float> payload = store_.read_block(id, var, timestep);
@@ -43,7 +45,6 @@ AsyncPrefetcher::Payload AsyncPrefetcher::get_if_ready(BlockId id) const {
 
 AsyncPrefetcher::Payload AsyncPrefetcher::get_blocking(BlockId id, usize var,
                                                        usize timestep) {
-  bool marked_here = false;
   {
     MutexLock lock(mutex_);
     auto it = cache_.find(id);
@@ -54,34 +55,39 @@ AsyncPrefetcher::Payload AsyncPrefetcher::get_blocking(BlockId id, usize var,
     }
     ++stats_.demand_misses;
     if (metrics_.demand_misses) metrics_.demand_misses->inc();
-    // Mark the block in flight for the duration of the synchronous read so a
-    // concurrent request() cannot launch a duplicate background read of the
-    // same block. The marker is owned: if a background load already holds it,
-    // leave it alone — store_payload/note_failure erase it, not us, so a
-    // racing prefetch's bookkeeping can't be clobbered from this path.
-    marked_here = in_flight_.insert(id).second;
   }
-  // Synchronous demand load, outside the lock (reads can take milliseconds).
+  // Claim the block for the duration of the synchronous read so a concurrent
+  // request() cannot launch a duplicate background read. The claim is owned:
+  // if a background load already holds it, leave it alone — store_payload /
+  // note_failure release it, not us, so a racing prefetch's bookkeeping
+  // can't be clobbered from this path. Either way the demand read proceeds
+  // (see the class comment: render threads never wait on loader threads).
+  const bool claimed_here = coalescer_.try_claim(id);
+  // Synchronous demand load, outside every lock (reads can take
+  // milliseconds).
   Payload payload;
   try {
     payload = std::make_shared<const std::vector<float>>(
         store_.read_block(id, var, timestep));
   } catch (...) {
-    // Release our marker on failure, else the block is wedged un-loadable.
-    if (marked_here) {
-      MutexLock lock(mutex_);
-      in_flight_.erase(id);
-    }
+    // Release our claim on failure, else the block is wedged un-loadable.
+    if (claimed_here) coalescer_.complete(id);
     throw;
   }
-  MutexLock lock(mutex_);
-  if (marked_here) in_flight_.erase(id);
-  // A racing prefetch of the same block may have landed first; keep the
-  // incumbent. Never re-look-up after unlocking: a concurrent evict_except
-  // could empty the cache between insert and return (a race the stress
-  // suite caught as an unordered_map::at throw).
-  auto [it, inserted] = cache_.emplace(id, std::move(payload));
-  return it->second;
+  Payload resident;
+  {
+    MutexLock lock(mutex_);
+    // A racing prefetch of the same block may have landed first; keep the
+    // incumbent. Never re-look-up after unlocking: a concurrent evict_except
+    // could empty the cache between insert and return (a race the stress
+    // suite caught as an unordered_map::at throw).
+    auto [it, inserted] = cache_.emplace(id, std::move(payload));
+    resident = it->second;
+  }
+  // Release only after the payload is visible in the cache, so anyone whose
+  // claim was suppressed by ours finds the block on their next probe.
+  if (claimed_here) coalescer_.complete(id);
+  return resident;
 }
 
 void AsyncPrefetcher::drain() { pool_.wait_idle(); }
@@ -120,24 +126,28 @@ void AsyncPrefetcher::bind_metrics(MetricsRegistry* registry,
 }
 
 void AsyncPrefetcher::note_failure(BlockId id) {
-  MutexLock lock(mutex_);
-  in_flight_.erase(id);
-  ++stats_.failures;
-  if (metrics_.failures) metrics_.failures->inc();
+  {
+    MutexLock lock(mutex_);
+    ++stats_.failures;
+    if (metrics_.failures) metrics_.failures->inc();
+  }
+  coalescer_.complete(id);
 }
 
 void AsyncPrefetcher::store_payload(BlockId id, std::vector<float> payload,
                                     bool prefetch) {
-  MutexLock lock(mutex_);
-  in_flight_.erase(id);
-  if (!cache_.count(id)) {
-    cache_[id] =
-        std::make_shared<const std::vector<float>>(std::move(payload));
+  {
+    MutexLock lock(mutex_);
+    if (!cache_.count(id)) {
+      cache_[id] =
+          std::make_shared<const std::vector<float>>(std::move(payload));
+    }
+    if (prefetch) {
+      ++stats_.prefetched;
+      if (metrics_.prefetched) metrics_.prefetched->inc();
+    }
   }
-  if (prefetch) {
-    ++stats_.prefetched;
-    if (metrics_.prefetched) metrics_.prefetched->inc();
-  }
+  coalescer_.complete(id);
 }
 
 }  // namespace vizcache

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "service/request_coalescer.hpp"
 #include "util/annotated_mutex.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -19,11 +20,20 @@ namespace vizcache {
 /// VizPipeline. Payloads are cached in memory until evicted.
 ///
 /// Thread-safety: every public method may be called from any thread. mutex_
-/// is a leaf lock: it is never held across a BlockStore read or across a
+/// is a leaf lock: it is never held across a BlockStore read, across a
 /// ThreadPool call (submit/wait_idle take the pool's own lock — holding both
-/// would create a lock-order edge; see DESIGN.md, "Locking discipline").
+/// would create a lock-order edge; see DESIGN.md, "Locking discipline"), or
+/// across a RequestCoalescer call (the coalescer's mutex is its own leaf).
 /// BlockStore::read_block must itself be const-thread-safe, which all
 /// in-repo stores are.
+///
+/// Read deduplication lives in the shared RequestCoalescer (one claim per
+/// block in flight, owned by whoever claimed it). Demand reads deliberately
+/// do NOT wait on a racing background read — an example app's render thread
+/// must not block on a loader-pool read of unknowable age — so a demand read
+/// racing a prefetch of the same block performs its own read and keeps the
+/// incumbent payload (the multi-session service makes the opposite choice;
+/// see SharedHierarchy::fetch).
 class AsyncPrefetcher {
  public:
   using Payload = std::shared_ptr<const std::vector<float>>;
@@ -84,7 +94,8 @@ class AsyncPrefetcher {
   const BlockStore& store_;
   mutable Mutex mutex_;
   std::unordered_map<BlockId, Payload> cache_ GUARDED_BY(mutex_);
-  std::unordered_set<BlockId> in_flight_ GUARDED_BY(mutex_);
+  /// In-flight read table (self-synchronized; never touched under mutex_).
+  RequestCoalescer coalescer_;
   Stats stats_ GUARDED_BY(mutex_);
   BoundMetrics metrics_;
   /// Declared last on purpose: the pool is destroyed (and its workers

@@ -1,0 +1,131 @@
+#include "service/shared_hierarchy.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+
+SharedHierarchy::SharedHierarchy(MemoryHierarchy hierarchy,
+                                 double leader_pace_seconds)
+    : hier_(std::move(hierarchy)),
+      leader_pace_seconds_(leader_pace_seconds),
+      fast_capacity_bytes_(0) {
+  VIZ_REQUIRE(leader_pace_seconds_ >= 0.0, "pace must be non-negative");
+  MutexLock lock(mutex_);
+  fast_capacity_bytes_ = hier_.cache(0).capacity_bytes();
+}
+
+u64 SharedHierarchy::begin_step() {
+  MutexLock lock(mutex_);
+  const u64 epoch = ++next_epoch_;
+  active_epochs_.insert(epoch);
+  return epoch;
+}
+
+void SharedHierarchy::end_step(u64 epoch) {
+  MutexLock lock(mutex_);
+  auto it = active_epochs_.find(epoch);
+  VIZ_REQUIRE(it != active_epochs_.end(), "end_step of an unregistered epoch");
+  active_epochs_.erase(it);  // erase one instance, not every equal key
+}
+
+u64 SharedHierarchy::protect_floor_locked(u64 epoch) const {
+  if (active_epochs_.empty()) return epoch;
+  return std::min(epoch, *active_epochs_.begin());
+}
+
+void SharedHierarchy::pace() const {
+  if (leader_pace_seconds_ <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(leader_pace_seconds_));
+}
+
+SharedHierarchy::FetchResult SharedHierarchy::fetch(BlockId id, u64 epoch) {
+  FetchResult result;
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (hier_.resident_fast(id)) {
+        result.seconds = hier_.fetch(id, epoch, protect_floor_locked(epoch));
+        result.fast_hit = true;
+        return result;
+      }
+    }
+    // Fast-level miss. Claim the slow read, or wait for whoever holds it.
+    if (coalescer_.try_claim(id)) {
+      pace();  // keep the in-flight window open on the wall clock
+      {
+        MutexLock lock(mutex_);
+        result.seconds = hier_.fetch(id, epoch, protect_floor_locked(epoch));
+      }
+      coalescer_.complete(id);
+      return result;
+    }
+    // Another session's read is in flight: wait (outside mutex_, on the
+    // coalescer's own leaf lock) and re-probe. Usually the leader's
+    // promotion makes the next probe a fast hit; if the block was already
+    // evicted again, the loop claims it afresh.
+    if (coalescer_.wait(id)) result.coalesced = true;
+  }
+}
+
+SharedHierarchy::PrefetchResult SharedHierarchy::prefetch(BlockId id,
+                                                          u64 epoch) {
+  PrefetchResult result;
+  {
+    MutexLock lock(mutex_);
+    if (hier_.resident_fast(id)) {
+      // Already fastest-resident: the hierarchy charges the request and
+      // refreshes the block's protection timestamp at zero simulated cost.
+      result.seconds = hier_.prefetch(id, epoch, protect_floor_locked(epoch));
+      result.performed = true;
+      return result;
+    }
+  }
+  if (!coalescer_.try_claim(id)) {
+    result.suppressed = true;
+    return result;
+  }
+  pace();
+  {
+    MutexLock lock(mutex_);
+    result.seconds = hier_.prefetch(id, epoch, protect_floor_locked(epoch));
+  }
+  coalescer_.complete(id);
+  result.performed = true;
+  return result;
+}
+
+void SharedHierarchy::preload(BlockId id) {
+  MutexLock lock(mutex_);
+  hier_.preload(id);
+}
+
+bool SharedHierarchy::resident_fast(BlockId id) const {
+  MutexLock lock(mutex_);
+  return hier_.resident_fast(id);
+}
+
+HierarchyStats SharedHierarchy::stats() const {
+  MutexLock lock(mutex_);
+  return hier_.stats();
+}
+
+void SharedHierarchy::reset_stats() {
+  MutexLock lock(mutex_);
+  hier_.reset_stats();
+}
+
+void SharedHierarchy::bind_metrics(MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  {
+    MutexLock lock(mutex_);
+    hier_.bind_metrics(registry, prefix);
+  }
+  coalescer_.bind_metrics(registry, prefix + ".coalescer");
+}
+
+}  // namespace vizcache

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "service/request_coalescer.hpp"
+#include "storage/hierarchy.hpp"
+#include "util/annotated_mutex.hpp"
+
+namespace vizcache {
+
+/// Lock-disciplined façade putting ONE MemoryHierarchy behind real-thread
+/// sessions. The hierarchy itself stays "thread-compatible, not thread-safe"
+/// (block_cache.hpp); every touch of it here happens under mutex_, a leaf
+/// lock per DESIGN.md — no code path holds it while sleeping, waiting, or
+/// calling into the coalescer.
+///
+/// Two concerns are layered on top of the raw hierarchy:
+///
+/// *Per-session step protection.* The single-consumer pipelines protect a
+/// step's working set by passing the step number as both timestamp and
+/// eviction floor (Algorithm 1 line 16). With N sessions interleaving their
+/// steps, session-local step numbers are incomparable, so sessions instead
+/// draw *epochs* from one shared monotonic counter: begin_step() registers an
+/// epoch in a multiset of in-progress steps, and every insert uses
+/// protect_floor = min(active epochs). A block touched by ANY unfinished step
+/// therefore has last_use >= floor and cannot be victimized until that step
+/// ends — session A's eviction scan never steals what session B used this
+/// step.
+///
+/// *Request coalescing.* A fast-level miss claims the block in the
+/// RequestCoalescer before touching the slow path; concurrent sessions
+/// demanding the same block block on the coalescer's CondVar (outside
+/// mutex_), then re-probe — by then the leader's promotion has made the block
+/// a fast hit, so K overlapping demands cost one backing read.
+class SharedHierarchy {
+ public:
+  /// `leader_pace_seconds` holds a leader's in-flight marker open for a real
+  /// wall-clock beat (sleeping outside every lock) before it performs the
+  /// simulated read. The hierarchy's own time is simulated — a "read" under
+  /// the lock is instantaneous on the wall clock — so without pacing the
+  /// coalescing window is nearly unobservable. Benchmarks and demos set a
+  /// couple of milliseconds to make coalesced reads measurable; tests that
+  /// don't care leave it 0.
+  explicit SharedHierarchy(MemoryHierarchy hierarchy,
+                           double leader_pace_seconds = 0.0);
+
+  /// Register the start of a session step; returns the step's epoch, which
+  /// the session passes to fetch/prefetch until it calls end_step(epoch).
+  /// Blocks the step touches are eviction-protected until then.
+  u64 begin_step() EXCLUDES(mutex_);
+  void end_step(u64 epoch) EXCLUDES(mutex_);
+
+  struct FetchResult {
+    SimSeconds seconds = 0.0;  ///< simulated serving time
+    bool fast_hit = false;     ///< served by the fastest (DRAM) level
+    bool coalesced = false;    ///< waited on another session's read in flight
+  };
+
+  struct PrefetchResult {
+    SimSeconds seconds = 0.0;
+    bool performed = false;    ///< the hierarchy actually ran the prefetch
+    bool suppressed = false;   ///< dropped: the block is already in flight
+  };
+
+  /// Demand-fetch `id` for the step with epoch `epoch`. Never performs a
+  /// duplicate backing read: a miss while another session reads the same
+  /// block waits for that read and is reported as coalesced.
+  FetchResult fetch(BlockId id, u64 epoch) EXCLUDES(mutex_);
+
+  /// Prefetch `id`. Prefetches never wait: if the block is claimed by
+  /// another reader the request is suppressed (the data is on its way
+  /// regardless — charging a second read would be the duplicate the
+  /// coalescer exists to prevent).
+  PrefetchResult prefetch(BlockId id, u64 epoch) EXCLUDES(mutex_);
+
+  /// Pre-processing placement (no simulated time, no counters).
+  void preload(BlockId id) EXCLUDES(mutex_);
+
+  bool resident_fast(BlockId id) const EXCLUDES(mutex_);
+
+  /// Capacity of the fastest (DRAM) level; immutable after construction, so
+  /// readable without the lock.
+  u64 fast_capacity_bytes() const { return fast_capacity_bytes_; }
+
+  /// Snapshot of the shared hierarchy's counters (copied under the lock).
+  HierarchyStats stats() const EXCLUDES(mutex_);
+  void reset_stats() EXCLUDES(mutex_);
+
+  /// Bind the wrapped hierarchy's instruments (see
+  /// MemoryHierarchy::bind_metrics) and the coalescer's under
+  /// `<prefix>.coalescer.*`.
+  void bind_metrics(MetricsRegistry* registry,
+                    const std::string& prefix = "service.hierarchy")
+      EXCLUDES(mutex_);
+
+  RequestCoalescer& coalescer() { return coalescer_; }
+  const RequestCoalescer& coalescer() const { return coalescer_; }
+
+ private:
+  /// min(active epochs), clamped to `epoch` so a step that outlives its
+  /// neighbours still satisfies BlockCache's floor <= step precondition.
+  u64 protect_floor_locked(u64 epoch) const REQUIRES(mutex_);
+
+  /// Wall-clock sleep of leader_pace_seconds_; called with no lock held.
+  void pace() const EXCLUDES(mutex_);
+
+  mutable Mutex mutex_;
+  MemoryHierarchy hier_ GUARDED_BY(mutex_);
+  u64 next_epoch_ GUARDED_BY(mutex_) = 0;
+  std::multiset<u64> active_epochs_ GUARDED_BY(mutex_);
+  RequestCoalescer coalescer_;
+  double leader_pace_seconds_;
+  u64 fast_capacity_bytes_;
+};
+
+}  // namespace vizcache

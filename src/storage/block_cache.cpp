@@ -49,6 +49,13 @@ bool BlockCache::touch_if_resident(BlockId id, u64 step) {
 }
 
 BlockCache::InsertResult BlockCache::insert(BlockId id, u64 step) {
+  return insert(id, step, step);
+}
+
+BlockCache::InsertResult BlockCache::insert(BlockId id, u64 step,
+                                            u64 protect_floor) {
+  VIZ_REQUIRE(protect_floor <= step,
+              "protect_floor must not exceed the access step");
   InsertResult result;
   if (auto it = last_use_.find(id); it != last_use_.end()) {
     touch_at(it, step);
@@ -62,16 +69,17 @@ BlockCache::InsertResult BlockCache::insert(BlockId id, u64 step) {
     return result;
   }
   // Per-step protection (Algorithm 1 line 16): only blocks whose last use
-  // precedes the current step may be replaced. Victims are selected first
-  // and evicted only once the insert is guaranteed to succeed, so a
-  // bypassed insert leaves the cache untouched (atomicity).
+  // precedes the protection floor may be replaced (floor == step for the
+  // single-consumer pipelines). Victims are selected first and evicted only
+  // once the insert is guaranteed to succeed, so a bypassed insert leaves
+  // the cache untouched (atomicity).
   std::vector<BlockId> chosen;  // selection order, kept for determinism
-  EvictablePredicate evictable = [this, step, &chosen](BlockId candidate) {
+  EvictablePredicate evictable = [this, protect_floor, &chosen](BlockId candidate) {
     if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end()) {
       return false;
     }
     auto it = last_use_.find(candidate);
-    return it != last_use_.end() && it->second < step;
+    return it != last_use_.end() && it->second < protect_floor;
   };
   u64 freed = 0;
   while (occupancy_bytes_ - freed + bytes > capacity_bytes_) {

@@ -69,6 +69,15 @@ class BlockCache {
   /// is bypassed (the read still happened; the block just isn't kept).
   InsertResult insert(BlockId id, u64 step);
 
+  /// insert() with the protection threshold decoupled from the access
+  /// timestamp: the inserted block's last_use becomes `step`, but a victim is
+  /// evictable only when its last_use < `protect_floor` (<= step). The
+  /// single-consumer pipelines use floor == step (Algorithm 1's rule); the
+  /// shared multi-session hierarchy passes the minimum epoch of all
+  /// in-progress session steps, so no session's eviction scan can victimize a
+  /// block another session used during a step that has not finished yet.
+  InsertResult insert(BlockId id, u64 step, u64 protect_floor);
+
   /// Remove a specific block (used by invalidation tests).
   bool erase(BlockId id);
 

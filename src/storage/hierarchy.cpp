@@ -104,7 +104,8 @@ const BlockCache& MemoryHierarchy::cache(usize level) const {
   return *levels_[level].cache;
 }
 
-SimSeconds MemoryHierarchy::fetch_internal(BlockId id, u64 step, bool demand) {
+SimSeconds MemoryHierarchy::fetch_internal(BlockId id, u64 step, bool demand,
+                                           u64 protect_floor) {
   const u64 bytes = block_size_(id);
   // Find the fastest level already holding the block. The probe doubles as
   // the access touch (one hash lookup instead of contains() + touch()); the
@@ -163,14 +164,14 @@ SimSeconds MemoryHierarchy::fetch_internal(BlockId id, u64 step, bool demand) {
 
   // Promote into all faster levels (staged placement HDD -> SSD -> DRAM).
   for (usize i = found; i-- > 0;) {
-    levels_[i].cache->insert(id, step);
+    levels_[i].cache->insert(id, step, protect_floor);
   }
   return cost;
 }
 
-SimSeconds MemoryHierarchy::fetch(BlockId id, u64 step) {
+SimSeconds MemoryHierarchy::fetch(BlockId id, u64 step, u64 protect_floor) {
   ++stats_.demand_requests;
-  SimSeconds t = fetch_internal(id, step, /*demand=*/true);
+  SimSeconds t = fetch_internal(id, step, /*demand=*/true, protect_floor);
   stats_.demand_io_time += t;
   if (metrics_.demand_requests) {
     metrics_.demand_requests->inc();
@@ -181,7 +182,7 @@ SimSeconds MemoryHierarchy::fetch(BlockId id, u64 step) {
   return t;
 }
 
-SimSeconds MemoryHierarchy::prefetch(BlockId id, u64 step) {
+SimSeconds MemoryHierarchy::prefetch(BlockId id, u64 step, u64 protect_floor) {
   // A prefetch of a fastest-resident block must still refresh its protection
   // timestamp: the predictor just said the block matters for step `step`, so
   // leaving last_use at an older step would let the very next demand insert
@@ -189,7 +190,7 @@ SimSeconds MemoryHierarchy::prefetch(BlockId id, u64 step) {
   // into one hash lookup.
   if (levels_.front().cache->touch_if_resident(id, step)) return 0.0;
   ++stats_.prefetch_requests;
-  SimSeconds t = fetch_internal(id, step, /*demand=*/false);
+  SimSeconds t = fetch_internal(id, step, /*demand=*/false, protect_floor);
   stats_.prefetch_time += t;
   if (metrics_.prefetch_requests) {
     metrics_.prefetch_requests->inc();

@@ -78,11 +78,21 @@ class MemoryHierarchy {
   const BlockCache& cache(usize level) const;
 
   /// Demand fetch; returns simulated time.
-  SimSeconds fetch(BlockId id, u64 step);
+  SimSeconds fetch(BlockId id, u64 step) { return fetch(id, step, step); }
+
+  /// fetch() with a decoupled eviction-protection floor (see
+  /// BlockCache::insert(id, step, protect_floor)): promotion inserts touch
+  /// the block at `step` but may only evict victims last used before
+  /// `protect_floor`. The shared multi-session hierarchy passes the minimum
+  /// epoch of all in-progress session steps.
+  SimSeconds fetch(BlockId id, u64 step, u64 protect_floor);
 
   /// Prefetch into the fastest level; returns simulated time (0 when the
   /// block is already fastest-resident).
-  SimSeconds prefetch(BlockId id, u64 step);
+  SimSeconds prefetch(BlockId id, u64 step) { return prefetch(id, step, step); }
+
+  /// prefetch() with a decoupled eviction-protection floor (see fetch()).
+  SimSeconds prefetch(BlockId id, u64 step, u64 protect_floor);
 
   /// Pre-processing placement into the fastest level (and the levels below
   /// it) without charging simulated time or demand/prefetch counters.
@@ -113,7 +123,8 @@ class MemoryHierarchy {
 
   /// Core movement shared by fetch/prefetch: returns the serving time and
   /// promotes the block into levels [0, found_level).
-  SimSeconds fetch_internal(BlockId id, u64 step, bool demand);
+  SimSeconds fetch_internal(BlockId id, u64 step, bool demand,
+                            u64 protect_floor);
 
   /// Mirror per-cache counters into stats_.level.
   void sync_level_stats();

@@ -2,7 +2,7 @@
 
 #include <filesystem>
 
-#include "core/async_prefetcher.hpp"
+#include "service/async_prefetcher.hpp"
 #include "core/importance.hpp"
 #include "core/visibility.hpp"
 #include "core/visibility_table.hpp"

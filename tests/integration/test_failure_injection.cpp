@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
-#include <filesystem>
+#include <unistd.h>
 
-#include "core/async_prefetcher.hpp"
+#include <filesystem>
+#include <string>
+
+#include "service/async_prefetcher.hpp"
 #include "util/error.hpp"
 #include "volume/file_block_store.hpp"
 #include "volume/packed_block_store.hpp"
@@ -18,7 +21,11 @@ namespace fs = std::filesystem;
 class FailureInjectionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "vizcache_fault_test";
+    // Pid-unique: ctest -j runs sibling tests of this fixture as separate
+    // concurrent processes, so a shared directory would be remove_all'd out
+    // from under a running test.
+    dir_ = fs::temp_directory_path() /
+           ("vizcache_fault_test_" + std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

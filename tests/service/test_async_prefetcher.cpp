@@ -1,4 +1,4 @@
-#include "core/async_prefetcher.hpp"
+#include "service/async_prefetcher.hpp"
 
 #include <gtest/gtest.h>
 

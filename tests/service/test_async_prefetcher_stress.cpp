@@ -3,7 +3,7 @@
 // failing store. These are the TSan targets for the prefetch hot path
 // (Algorithm 1's render/prefetch overlap), but run in every configuration.
 
-#include "core/async_prefetcher.hpp"
+#include "service/async_prefetcher.hpp"
 
 #include <gtest/gtest.h>
 

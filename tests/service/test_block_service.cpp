@@ -1,0 +1,220 @@
+#include "service/block_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/workbench.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+/// Small shared workbench (same shape as the pipeline suite's) so building
+/// T_visible/T_important happens once; each test opens fresh services.
+class BlockServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchSpec spec;
+    spec.dataset = DatasetId::kBall3d;
+    spec.scale = 0.08;  // ~82^3
+    spec.target_blocks = 256;
+    spec.omega = {8, 16, 3, 2.5, 3.5};
+    bench_ = std::make_unique<Workbench>(spec);
+  }
+  static void TearDownTestSuite() { bench_.reset(); }
+
+  static MemoryHierarchy make_hierarchy(double fraction = 1.0) {
+    const BlockGrid* g = &bench_->grid();
+    const u64 bytes =
+        std::max<u64>(u64{1}, static_cast<u64>(
+                                  static_cast<double>(bench_->dataset_bytes()) *
+                                  fraction));
+    return MemoryHierarchy::paper_testbed(
+        bytes, bench_->spec().cache_ratio, PolicyKind::kLru,
+        [g](BlockId id) { return g->block_bytes(id); });
+  }
+
+  static ServiceConfig make_config() {
+    ServiceConfig cfg;
+    cfg.app_aware = true;
+    cfg.sigma_bits = bench_->sigma_bits();
+    cfg.render_model = bench_->spec().render_model;
+    cfg.lookup_cost = bench_->spec().lookup_cost;
+    return cfg;
+  }
+
+  /// Heap-allocated: BlockService owns mutexes and is non-movable.
+  static std::unique_ptr<BlockService> make_service(ServiceConfig cfg) {
+    return std::make_unique<BlockService>(bench_->grid(), make_hierarchy(),
+                                          cfg, &bench_->table(),
+                                          &bench_->importance());
+  }
+
+  static CameraPath path(usize n = 40, u64 seed = 1234) {
+    RandomPathSpec rp;
+    rp.step_min_deg = 4.0;
+    rp.step_max_deg = 6.0;
+    rp.positions = n;
+    rp.seed = seed;
+    return make_random_path(rp);
+  }
+
+  static std::unique_ptr<Workbench> bench_;
+};
+
+std::unique_ptr<Workbench> BlockServiceTest::bench_;
+
+TEST_F(BlockServiceTest, SessionLifecycleAndStepAccounting) {
+  auto svc = make_service(make_config());
+  const auto id = svc->open_session();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(svc->active_sessions(), 1u);
+
+  const CameraPath p = path();
+  u64 demand = 0, misses = 0, prefetched = 0;
+  SimSeconds sim = 0.0;
+  for (usize i = 0; i < p.size(); ++i) {
+    const SessionStepResult sr = svc->step(*id, p[i]);
+    EXPECT_EQ(sr.step, i + 1);
+    EXPECT_GT(sr.visible_blocks, 0u);
+    EXPECT_LE(sr.fast_misses, sr.visible_blocks);
+    EXPECT_DOUBLE_EQ(sr.total_time,
+                     sr.io_time + std::max(sr.render_time,
+                                           sr.lookup_time + sr.prefetch_time));
+    demand += sr.visible_blocks;
+    misses += sr.fast_misses;
+    prefetched += sr.prefetched;
+    sim += sr.total_time;
+  }
+  EXPECT_GT(prefetched, 0u);  // the predictor is wired through
+
+  const SessionSummary sum = svc->close_session(*id);
+  EXPECT_EQ(sum.id, *id);
+  EXPECT_EQ(sum.steps, p.size());
+  EXPECT_EQ(sum.demand_requests, demand);
+  EXPECT_EQ(sum.fast_misses, misses);
+  EXPECT_EQ(sum.prefetched, prefetched);
+  EXPECT_NEAR(sum.sim_time, sim, 1e-9);
+  EXPECT_EQ(svc->active_sessions(), 0u);
+
+  EXPECT_EQ(svc->metrics().counter("service.steps").value(), p.size());
+  EXPECT_EQ(svc->metrics().counter("service.demand.requests").value(), demand);
+  EXPECT_EQ(svc->metrics().counter("service.sessions.opened").value(), 1u);
+  EXPECT_EQ(svc->metrics().counter("service.sessions.closed").value(), 1u);
+}
+
+TEST_F(BlockServiceTest, StepOrCloseOfUnknownSessionThrows) {
+  auto svc = make_service(make_config());
+  EXPECT_THROW(svc->step(99, Camera()), InvalidArgument);
+  EXPECT_THROW(svc->close_session(99), InvalidArgument);
+}
+
+TEST_F(BlockServiceTest, AdmissionRejectsBeyondMaxSessions) {
+  ServiceConfig cfg = make_config();
+  cfg.max_sessions = 2;
+  auto svc = make_service(cfg);
+  const auto a = svc->open_session();
+  const auto b = svc->open_session();
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(svc->open_session().has_value());
+  EXPECT_EQ(svc->metrics().counter("service.sessions.rejected").value(), 1u);
+  svc->close_session(*a);
+  EXPECT_TRUE(svc->open_session().has_value());  // slot freed
+}
+
+TEST_F(BlockServiceTest, TinyPrefetchBudgetShedsPrefetchNeverDemand) {
+  ServiceConfig cfg = make_config();
+  cfg.aggregate_prefetch_budget_bytes = 1;  // below any block's size
+  auto svc = make_service(cfg);
+  const auto id = svc->open_session();
+  ASSERT_TRUE(id.has_value());
+  u64 shed = 0, prefetched = 0, demand = 0;
+  for (const Camera& cam : path(20)) {
+    const SessionStepResult sr = svc->step(*id, cam);
+    shed += sr.prefetch_shed;
+    prefetched += sr.prefetched;
+    demand += sr.visible_blocks;
+  }
+  EXPECT_EQ(prefetched, 0u);  // every prefetch shed...
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(demand, 0u);  // ...but demand went through untouched
+  EXPECT_EQ(svc->metrics().counter("service.demand.requests").value(), demand);
+  EXPECT_EQ(svc->metrics().counter("service.prefetch.blocks").value(), 0u);
+  EXPECT_EQ(svc->metrics().counter("service.prefetch.shed").value(), shed);
+}
+
+// The point of sharing: a session walking ground another session already
+// covered inherits its working set. Run A over a path, then B over the SAME
+// path — B must see far fewer fast misses than A did.
+TEST_F(BlockServiceTest, SecondSessionBenefitsFromSharedCache) {
+  auto svc = make_service(make_config());
+  const CameraPath p = path();
+  const auto a = svc->open_session();
+  ASSERT_TRUE(a.has_value());
+  for (const Camera& cam : p) svc->step(*a, cam);
+  const SessionSummary sa = svc->close_session(*a);
+
+  const auto b = svc->open_session();
+  ASSERT_TRUE(b.has_value());
+  for (const Camera& cam : p) svc->step(*b, cam);
+  const SessionSummary sb = svc->close_session(*b);
+
+  EXPECT_GT(sa.fast_misses, 0u);
+  // DRAM holds only a quarter of the dataset, so B still misses where the
+  // path outran the cache — but it must do at least 25% better than cold A.
+  EXPECT_LT(sb.fast_misses * 4, sa.fast_misses * 3);
+}
+
+TEST_F(BlockServiceTest, PreloadWarmsTheSharedCache) {
+  ServiceConfig cfg = make_config();
+  cfg.preload_important = true;
+  auto warm = make_service(cfg);
+  cfg.preload_important = false;
+  auto cold = make_service(cfg);
+  const CameraPath p = path(10);
+  const auto wid = warm->open_session();
+  const auto cid = cold->open_session();
+  ASSERT_TRUE(wid && cid);
+  u64 warm_misses = 0, cold_misses = 0;
+  for (const Camera& cam : p) {
+    warm_misses += warm->step(*wid, cam).fast_misses;
+    cold_misses += cold->step(*cid, cam).fast_misses;
+  }
+  EXPECT_LT(warm_misses, cold_misses);
+}
+
+TEST_F(BlockServiceTest, TimelineHasOneLanePerSession) {
+  auto svc = make_service(make_config());
+  const auto a = svc->open_session();
+  const auto b = svc->open_session();
+  ASSERT_TRUE(a && b);
+  const CameraPath p = path(5);
+  for (const Camera& cam : p) {
+    svc->step(*a, cam);
+    svc->step(*b, cam);
+  }
+  const StepTimeline tl = svc->timeline();
+  bool saw_a = false, saw_b = false;
+  for (const StepEvent& ev : tl.events()) {
+    if (ev.worker == *a) saw_a = true;
+    if (ev.worker == *b) saw_b = true;
+    EXPECT_GE(ev.end, ev.start);
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  // The app-aware service records overlapped lookup+prefetch spans.
+  EXPECT_GT(tl.overlap_seconds(StepEvent::Kind::kPrefetch,
+                               StepEvent::Kind::kRender),
+            0.0);
+}
+
+TEST_F(BlockServiceTest, AppAwareServiceRequiresTables) {
+  ServiceConfig cfg = make_config();
+  EXPECT_THROW(BlockService(bench_->grid(), make_hierarchy(), cfg),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,144 @@
+#include "service/shared_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vizcache {
+namespace {
+
+constexpr u64 kBlock = 1000;  // uniform block size in bytes
+
+MemoryHierarchy make_two_level(u64 dram_blocks, u64 ssd_blocks) {
+  std::vector<LevelSpec> specs{
+      {"DRAM", dram_device(), dram_blocks * kBlock, PolicyKind::kLru},
+      {"SSD", ssd_device(), ssd_blocks * kBlock, PolicyKind::kLru},
+  };
+  return MemoryHierarchy(std::move(specs), hdd_device(),
+                         [](BlockId) -> u64 { return kBlock; });
+}
+
+TEST(SharedHierarchy, FetchMissThenHit) {
+  SharedHierarchy sh(make_two_level(2, 4));
+  const u64 e = sh.begin_step();
+  SharedHierarchy::FetchResult miss = sh.fetch(1, e);
+  EXPECT_FALSE(miss.fast_hit);
+  EXPECT_FALSE(miss.coalesced);
+  EXPECT_DOUBLE_EQ(miss.seconds, hdd_device().transfer_time(kBlock));
+  SharedHierarchy::FetchResult hit = sh.fetch(1, e);
+  EXPECT_TRUE(hit.fast_hit);
+  EXPECT_DOUBLE_EQ(hit.seconds, dram_device().transfer_time(kBlock));
+  sh.end_step(e);
+  EXPECT_EQ(sh.stats().demand_requests, 2u);
+  EXPECT_EQ(sh.stats().backing_reads(), 1u);
+  EXPECT_EQ(sh.coalescer().in_flight_count(), 0u);
+}
+
+TEST(SharedHierarchy, EpochsAreMonotonicAndEndStepChecks) {
+  SharedHierarchy sh(make_two_level(2, 4));
+  const u64 a = sh.begin_step();
+  const u64 b = sh.begin_step();
+  EXPECT_LT(a, b);
+  sh.end_step(b);
+  sh.end_step(a);
+  EXPECT_THROW(sh.end_step(a), InvalidArgument);  // already retired
+}
+
+// The cross-session guarantee: while session A's step is still in progress,
+// session B's eviction scan cannot victimize the blocks A fetched, because
+// the protection floor is the MINIMUM active epoch.
+TEST(SharedHierarchy, ActiveStepBlocksAreNotVictimized) {
+  SharedHierarchy sh(make_two_level(1, 8));  // DRAM holds exactly one block
+  const u64 a = sh.begin_step();   // epoch 1 (session A)
+  sh.fetch(1, a);                  // DRAM := {1}, last_use = a
+  const u64 b = sh.begin_step();   // epoch 2 (session B)
+  // Floor is min(a, b) == a, and block 1's last_use == a is not < a, so the
+  // promotion of block 2 is bypassed at the DRAM level: block 1 survives.
+  sh.fetch(2, b);
+  EXPECT_TRUE(sh.resident_fast(1));
+  EXPECT_FALSE(sh.resident_fast(2));
+
+  // Once A's step retires, the floor rises to b and block 1 is fair game.
+  sh.end_step(a);
+  sh.fetch(3, b);
+  EXPECT_FALSE(sh.resident_fast(1));
+  EXPECT_TRUE(sh.resident_fast(3));
+  sh.end_step(b);
+}
+
+TEST(SharedHierarchy, PrefetchIsSuppressedWhileBlockInFlight) {
+  SharedHierarchy sh(make_two_level(2, 4));
+  const u64 e = sh.begin_step();
+  ASSERT_TRUE(sh.coalescer().try_claim(5));  // a reader is on it elsewhere
+  SharedHierarchy::PrefetchResult pr = sh.prefetch(5, e);
+  EXPECT_TRUE(pr.suppressed);
+  EXPECT_FALSE(pr.performed);
+  EXPECT_EQ(sh.stats().prefetch_requests, 0u);
+
+  sh.coalescer().complete(5);
+  pr = sh.prefetch(5, e);
+  EXPECT_TRUE(pr.performed);
+  EXPECT_FALSE(pr.suppressed);
+  EXPECT_EQ(sh.stats().prefetch_requests, 1u);
+  EXPECT_TRUE(sh.resident_fast(5));
+  sh.end_step(e);
+}
+
+// Coalesced-hit path: a fetch that finds the block claimed waits on the
+// CondVar; when the leader lands the block in fast memory before releasing,
+// the waiter's re-probe is a fast hit and no second backing read happens.
+TEST(SharedHierarchy, WaiterIsServedFromCacheAfterLeaderCompletes) {
+  SharedHierarchy sh(make_two_level(2, 4));
+  const u64 e = sh.begin_step();
+  ASSERT_TRUE(sh.coalescer().try_claim(7));  // simulate a leader mid-read
+  SharedHierarchy::FetchResult fr;
+  std::thread waiter([&] { fr = sh.fetch(7, e); });
+  while (sh.coalescer().stats().coalesced_waits == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sh.preload(7);            // the leader's read lands...
+  sh.coalescer().complete(7);  // ...and the claim is released
+  waiter.join();
+  EXPECT_TRUE(fr.coalesced);
+  EXPECT_TRUE(fr.fast_hit);
+  EXPECT_EQ(sh.stats().backing_reads(), 0u);
+  sh.end_step(e);
+}
+
+// If the leader fails to land the block (completes without inserting), the
+// waiter claims the read itself instead of spinning or wedging.
+TEST(SharedHierarchy, WaiterRetriesWhenLeaderLandsNothing) {
+  SharedHierarchy sh(make_two_level(2, 4));
+  const u64 e = sh.begin_step();
+  ASSERT_TRUE(sh.coalescer().try_claim(7));
+  SharedHierarchy::FetchResult fr;
+  std::thread waiter([&] { fr = sh.fetch(7, e); });
+  while (sh.coalescer().stats().coalesced_waits == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sh.coalescer().complete(7);  // leader vanishes without caching the block
+  waiter.join();
+  EXPECT_TRUE(fr.coalesced);
+  EXPECT_FALSE(fr.fast_hit);
+  EXPECT_EQ(sh.stats().backing_reads(), 1u);  // the waiter's own read
+  EXPECT_EQ(sh.coalescer().in_flight_count(), 0u);
+  sh.end_step(e);
+}
+
+TEST(SharedHierarchy, BindMetricsExposesCoalescerInstruments) {
+  SharedHierarchy sh(make_two_level(2, 4));
+  MetricsRegistry registry;
+  sh.bind_metrics(&registry, "service.hierarchy");
+  const u64 e = sh.begin_step();
+  sh.fetch(1, e);
+  sh.end_step(e);
+  EXPECT_EQ(registry.counter("service.hierarchy.demand.requests").value(), 1u);
+  EXPECT_EQ(registry.counter("service.hierarchy.coalescer.claims").value(), 1u);
+}
+
+}  // namespace
+}  // namespace vizcache

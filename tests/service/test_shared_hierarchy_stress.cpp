@@ -1,0 +1,114 @@
+// Contention stress for the shared-hierarchy façade: 8 real threads hammer
+// fetch/prefetch/evict over deliberately overlapping working sets so the
+// sanitizer presets (TSan above all) can chew on every lock edge — the
+// hierarchy leaf lock, the coalescer's mutex/CondVar, and their interleaving
+// with begin_step/end_step epochs. Labelled `stress` in ctest (see
+// tests/CMakeLists.txt) with a per-test timeout so a deadlock fails loud.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "service/shared_hierarchy.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace vizcache {
+namespace {
+
+constexpr u64 kBlock = 1000;
+constexpr usize kThreads = 8;
+constexpr usize kStepsPerThread = 200;
+constexpr usize kBlocksPerStep = 6;
+constexpr u32 kUniverse = 48;  // small id space => constant collisions
+
+MemoryHierarchy make_contended_hierarchy() {
+  // DRAM far smaller than the universe so eviction runs constantly.
+  std::vector<LevelSpec> specs{
+      {"DRAM", dram_device(), 12 * kBlock, PolicyKind::kLru},
+      {"SSD", ssd_device(), 24 * kBlock, PolicyKind::kLru},
+  };
+  return MemoryHierarchy(std::move(specs), hdd_device(),
+                         [](BlockId) -> u64 { return kBlock; });
+}
+
+TEST(SharedHierarchyStress, EightThreadsOverlappingWorkingSets) {
+  SharedHierarchy sh(make_contended_hierarchy());
+  std::vector<std::thread> threads;
+  std::vector<u64> fetches(kThreads, 0);
+  threads.reserve(kThreads);
+  for (usize t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sh, &fetches, t] {
+      Rng rng(0xC0FFEEu + static_cast<u64>(t));
+      for (usize step = 0; step < kStepsPerThread; ++step) {
+        const u64 epoch = sh.begin_step();
+        for (usize k = 0; k < kBlocksPerStep; ++k) {
+          const BlockId id = static_cast<BlockId>(rng.next_u64() % kUniverse);
+          sh.fetch(id, epoch);
+          ++fetches[t];
+          // Roughly every other block also gets a speculative prefetch of a
+          // neighbour, racing other threads' demand reads of the same id.
+          if ((k & 1u) == 0) {
+            const BlockId next = static_cast<BlockId>((id + 1) % kUniverse);
+            sh.prefetch(next, epoch);
+          }
+        }
+        sh.end_step(epoch);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // No claim may leak: every leader completed, every waiter woke.
+  EXPECT_EQ(sh.coalescer().in_flight_count(), 0u);
+
+  u64 total_fetches = 0;
+  for (u64 f : fetches) total_fetches += f;
+  EXPECT_EQ(total_fetches, kThreads * kStepsPerThread * kBlocksPerStep);
+
+  const HierarchyStats stats = sh.stats();
+  EXPECT_EQ(stats.demand_requests, total_fetches);
+  // Backing reads can never exceed demand+prefetch requests, and with this
+  // much overlap they must be well below the demand count.
+  EXPECT_LE(stats.backing_reads(),
+            stats.demand_requests + stats.prefetch_requests);
+  EXPECT_LT(stats.demand_backing_reads, stats.demand_requests);
+  EXPECT_DOUBLE_EQ(stats.fast_miss_rate(), stats.fast_miss_rate());  // no NaN
+}
+
+// Same hammering, but with leader pacing enabled so the in-flight window is
+// wall-clock wide and waiters genuinely sleep on the CondVar: this is the
+// path where a lost notify or a leaked claim would deadlock (and trip the
+// ctest timeout instead of hanging forever).
+TEST(SharedHierarchyStress, PacedLeadersForceCoalescedWaits) {
+  SharedHierarchy sh(make_contended_hierarchy(), /*leader_pace_seconds=*/2e-4);
+  constexpr usize kPacedThreads = 8;
+  constexpr usize kPacedSteps = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kPacedThreads);
+  for (usize t = 0; t < kPacedThreads; ++t) {
+    threads.emplace_back([&sh] {
+      // Every thread walks the SAME block sequence, so most steps contend
+      // for the head block while it is claimed by whichever thread got
+      // there first.
+      for (usize step = 0; step < kPacedSteps; ++step) {
+        const u64 epoch = sh.begin_step();
+        for (u32 k = 0; k < 3; ++k) {
+          sh.fetch(static_cast<BlockId>((step * 3 + k) % kUniverse), epoch);
+        }
+        sh.end_step(epoch);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(sh.coalescer().in_flight_count(), 0u);
+  const RequestCoalescer::Stats cs = sh.coalescer().stats();
+  EXPECT_EQ(cs.claims, cs.completions);
+  // With identical lockstep walks and paced leaders, coalescing must
+  // actually have happened.
+  EXPECT_GT(cs.coalesced_waits, 0u);
+}
+
+}  // namespace
+}  // namespace vizcache

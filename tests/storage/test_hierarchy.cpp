@@ -196,6 +196,47 @@ TEST(Hierarchy, InvalidConstruction) {
                InvalidArgument);
 }
 
+// A session can legitimately open and close without rendering anything; the
+// miss-rate accessors must report 0.0 on zero lookups, not divide by zero.
+TEST(Hierarchy, MissRatesAreZeroOnZeroLookups) {
+  MemoryHierarchy h = make_two_level(2, 4);
+  EXPECT_DOUBLE_EQ(h.stats().fast_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(h.stats().total_miss_rate(), 0.0);
+
+  // Preloads and prefetches charge no demand lookups: still 0.0 after both.
+  h.preload(1);
+  h.prefetch(2, 1);
+  EXPECT_DOUBLE_EQ(h.stats().fast_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(h.stats().total_miss_rate(), 0.0);
+
+  // A default-constructed (level-less) stats object takes the same path.
+  HierarchyStats empty;
+  EXPECT_DOUBLE_EQ(empty.fast_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.total_miss_rate(), 0.0);
+}
+
+// Decoupled protection floor: a block last used at a step >= the floor is
+// not evictable even when the inserting step is far ahead — the rule that
+// lets the shared service protect every in-progress session step at once.
+TEST(Hierarchy, ProtectFloorShieldsOtherSessionsBlocks) {
+  MemoryHierarchy h = make_two_level(1, 4);
+  h.fetch(1, 5);  // DRAM holds only block 1, last_use = 5
+  // Floor 5 protects block 1 (last_use == 5 is not < 5): insert bypassed.
+  h.fetch(2, 9, /*protect_floor=*/5);
+  EXPECT_TRUE(h.cache(0).contains(1));
+  EXPECT_FALSE(h.cache(0).contains(2));
+  EXPECT_EQ(h.stats().level[0].bypasses, 1u);
+  // Floor 6 un-protects it: the same insert now evicts block 1.
+  h.fetch(3, 9, /*protect_floor=*/6);
+  EXPECT_FALSE(h.cache(0).contains(1));
+  EXPECT_TRUE(h.cache(0).contains(3));
+}
+
+TEST(Hierarchy, ProtectFloorAboveStepIsRejected) {
+  MemoryHierarchy h = make_two_level(1, 4);
+  EXPECT_THROW(h.fetch(1, 3, /*protect_floor=*/4), InvalidArgument);
+}
+
 TEST(Hierarchy, ThreeLevelStack) {
   std::vector<LevelSpec> specs{
       {"DRAM", dram_device(), 1 * kBlock, PolicyKind::kLru},

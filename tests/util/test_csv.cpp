@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -23,7 +26,10 @@ std::string read_file(const std::string& path) {
 class CsvTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "vizcache_csv_test";
+    // Pid-unique so concurrent ctest processes running sibling tests of
+    // this fixture cannot remove_all each other's files.
+    dir_ = fs::temp_directory_path() /
+           ("vizcache_csv_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -14,7 +17,11 @@ namespace fs = std::filesystem;
 class FileBlockStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = (fs::temp_directory_path() / "vizcache_fbs_test").string();
+    // Pid-unique so concurrent ctest processes running sibling tests of
+    // this fixture cannot remove_all each other's bricks.
+    root_ = (fs::temp_directory_path() /
+             ("vizcache_fbs_test_" + std::to_string(::getpid())))
+                .string();
     fs::remove_all(root_);
     fs::create_directories(root_);
   }

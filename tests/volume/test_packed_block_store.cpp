@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -16,7 +19,10 @@ namespace fs = std::filesystem;
 class PackedStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "vizcache_packed_test";
+    // Pid-unique so concurrent ctest processes running sibling tests of
+    // this fixture cannot remove_all each other's store.
+    dir_ = fs::temp_directory_path() /
+           ("vizcache_packed_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
     path_ = (dir_ / "store.vzpk").string();
   }

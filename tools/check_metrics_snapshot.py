@@ -7,10 +7,15 @@ the load-bearing instruments (a bind_metrics call dropped, a name renamed
 on one side only) fails the build instead of producing an empty dashboard.
 
 Usage:
-  check_metrics_snapshot.py snapshot.json [--app-aware]
+  check_metrics_snapshot.py snapshot.json [--app-aware | --service]
 
 `--app-aware` additionally requires the prefetch-side instruments to be
 present AND non-zero (an app-aware run that never prefetched is a bug).
+
+`--service` validates a BlockService snapshot instead (bench_service /
+multi_user_demo): the `service.*` instruments must be present and, because
+those runs drive overlapping sessions, the coalesced-read counters must be
+non-zero (overlapping sessions that never coalesced a read is a bug).
 
 Exit status 0 when the snapshot is complete, 1 otherwise, 2 on usage errors.
 """
@@ -48,14 +53,78 @@ APP_AWARE_NONZERO_COUNTERS = [
     "hierarchy.prefetch.requests",
 ]
 
+# Instruments a BlockService run must export (bench_service, multi_user_demo).
+SERVICE_REQUIRED_COUNTERS = [
+    "cache.dram.hits",
+    "cache.dram.misses",
+    "service.sessions.opened",
+    "service.sessions.closed",
+    "service.sessions.rejected",
+    "service.steps",
+    "service.demand.requests",
+    "service.demand.fast_misses",
+    "service.demand.coalesced_hits",
+    "service.prefetch.blocks",
+    "service.prefetch.shed",
+    "service.prefetch.suppressed",
+    "service.hierarchy.demand.requests",
+    "service.hierarchy.demand.backing_reads",
+    "service.hierarchy.coalescer.claims",
+    "service.hierarchy.coalescer.completions",
+    "service.hierarchy.coalescer.coalesced_waits",
+]
+SERVICE_REQUIRED_GAUGES = [
+    "service.sessions.active",
+]
+SERVICE_REQUIRED_HISTOGRAMS = [
+    "service.step.sim_seconds",
+]
 
-def check(snapshot: dict, app_aware: bool) -> list[str]:
+# Service runs drive OVERLAPPING sessions; sharing must actually happen.
+SERVICE_NONZERO_COUNTERS = [
+    "service.demand.coalesced_hits",
+    "service.hierarchy.coalescer.coalesced_waits",
+]
+
+
+def check_service(snapshot: dict) -> list[str]:
+    problems: list[str] = []
+    counters = snapshot["counters"]
+    for name in SERVICE_REQUIRED_COUNTERS:
+        if name not in counters:
+            problems.append(f"missing counter: {name}")
+    for name in SERVICE_REQUIRED_GAUGES:
+        if name not in snapshot["gauges"]:
+            problems.append(f"missing gauge: {name}")
+    for name in SERVICE_REQUIRED_HISTOGRAMS:
+        hist = snapshot["histograms"].get(name)
+        if hist is None:
+            problems.append(f"missing histogram: {name}")
+        elif not isinstance(hist.get("buckets"), dict) or "count" not in hist:
+            problems.append(f"malformed histogram: {name}")
+    for name in SERVICE_NONZERO_COUNTERS:
+        if counters.get(name) == 0:
+            problems.append(
+                f"overlapping-session run but counter is zero: {name}")
+    claims = counters.get("service.hierarchy.coalescer.claims")
+    completions = counters.get("service.hierarchy.coalescer.completions")
+    if claims is not None and completions is not None and claims != completions:
+        problems.append(
+            f"coalescer leaked claims: {claims} claims vs "
+            f"{completions} completions")
+    return problems
+
+
+def check(snapshot: dict, app_aware: bool, service: bool) -> list[str]:
     problems: list[str] = []
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(snapshot.get(section), dict):
             problems.append(f"missing or malformed section: {section}")
     if problems:
         return problems
+
+    if service:
+        return check_service(snapshot)
 
     counters = snapshot["counters"]
     for name in REQUIRED_COUNTERS:
@@ -89,7 +158,15 @@ def main(argv: list[str]) -> int:
         action="store_true",
         help="require non-zero prefetch instruments (OPT runs)",
     )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="validate a BlockService snapshot (service.* instruments, "
+        "non-zero coalesced-read counters)",
+    )
     args = parser.parse_args(argv)
+    if args.app_aware and args.service:
+        parser.error("--app-aware and --service are mutually exclusive")
 
     try:
         with open(args.snapshot, encoding="utf-8") as f:
@@ -99,7 +176,7 @@ def main(argv: list[str]) -> int:
               file=sys.stderr)
         return 1
 
-    problems = check(snapshot, args.app_aware)
+    problems = check(snapshot, args.app_aware, args.service)
     for p in problems:
         print(f"check_metrics_snapshot: {args.snapshot}: {p}", file=sys.stderr)
     if not problems:
