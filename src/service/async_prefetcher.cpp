@@ -95,7 +95,7 @@ void AsyncPrefetcher::drain() { pool_.wait_idle(); }
 void AsyncPrefetcher::evict_except(const std::unordered_set<BlockId>& keep) {
   MutexLock lock(mutex_);
   for (auto it = cache_.begin(); it != cache_.end();) {
-    if (keep.count(it->first)) {
+    if (keep.contains(it->first)) {
       ++it;
     } else {
       it = cache_.erase(it);

@@ -97,6 +97,8 @@ class AsyncPrefetcher {
   /// In-flight read table (self-synchronized; never touched under mutex_).
   RequestCoalescer coalescer_;
   Stats stats_ GUARDED_BY(mutex_);
+  // analyze: allow(lock-unguarded-field): pointers set once in bind_metrics
+  // before workers are submitted; the counters they point at are atomic.
   BoundMetrics metrics_;
   /// Declared last on purpose: the pool is destroyed (and its workers
   /// joined) before any state its tasks touch, so a forgotten drain can

@@ -142,10 +142,10 @@ class BlockService {
   };
 
   const BlockGrid& grid_;
-  ServiceConfig config_;
-  const VisibilityTable* table_;
-  const ImportanceTable* importance_;
-  BlockBoundsIndex bounds_;
+  const ServiceConfig config_;
+  const VisibilityTable* const table_;
+  const ImportanceTable* const importance_;
+  const BlockBoundsIndex bounds_;
   MetricsRegistry metrics_;
   SharedHierarchy shared_;
 
@@ -153,6 +153,8 @@ class BlockService {
   std::unordered_map<SessionId, SessionState> sessions_ GUARDED_BY(mutex_);
   SessionId next_session_ GUARDED_BY(mutex_) = 1;
   StepTimeline timeline_ GUARDED_BY(mutex_);
+  // analyze: allow(lock-unguarded-field): pointers set once in the
+  // constructor, before any session thread exists; counters are atomic.
   Instruments ins_;
 };
 

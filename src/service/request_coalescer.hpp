@@ -77,6 +77,8 @@ class RequestCoalescer {
   CondVar cv_;
   std::unordered_set<BlockId> in_flight_ GUARDED_BY(mutex_);
   Stats stats_ GUARDED_BY(mutex_);
+  // analyze: allow(lock-unguarded-field): pointers set once in bind_metrics
+  // during single-threaded setup; the counters they point at are atomic.
   BoundMetrics metrics_;
 };
 

@@ -10,12 +10,10 @@ namespace vizcache {
 
 SharedHierarchy::SharedHierarchy(MemoryHierarchy hierarchy,
                                  double leader_pace_seconds)
-    : hier_(std::move(hierarchy)),
-      leader_pace_seconds_(leader_pace_seconds),
-      fast_capacity_bytes_(0) {
+    : leader_pace_seconds_(leader_pace_seconds),
+      fast_capacity_bytes_(hierarchy.cache(0).capacity_bytes()),
+      hier_(std::move(hierarchy)) {
   VIZ_REQUIRE(leader_pace_seconds_ >= 0.0, "pace must be non-negative");
-  MutexLock lock(mutex_);
-  fast_capacity_bytes_ = hier_.cache(0).capacity_bytes();
 }
 
 u64 SharedHierarchy::begin_step() {
@@ -119,12 +117,14 @@ void SharedHierarchy::reset_stats() {
   hier_.reset_stats();
 }
 
+// Setup-phase: runs before the object is shared (BlockService constructor),
+// so hier_ is touched without mutex_. Holding mutex_ here would span the
+// registry's internal lock for every counter/gauge/histogram registration —
+// a nested-lock path the leaf-lock rule (DESIGN.md) forbids.
 void SharedHierarchy::bind_metrics(MetricsRegistry* registry,
-                                   const std::string& prefix) {
-  {
-    MutexLock lock(mutex_);
-    hier_.bind_metrics(registry, prefix);
-  }
+                                   const std::string& prefix)
+    NO_THREAD_SAFETY_ANALYSIS {
+  hier_.bind_metrics(registry, prefix);
   coalescer_.bind_metrics(registry, prefix + ".coalescer");
 }
 

@@ -89,7 +89,11 @@ class SharedHierarchy {
 
   /// Bind the wrapped hierarchy's instruments (see
   /// MemoryHierarchy::bind_metrics) and the coalescer's under
-  /// `<prefix>.coalescer.*`.
+  /// `<prefix>.coalescer.*`. Setup-phase only: call before any other thread
+  /// touches this object. The instruments live inside the guarded
+  /// hierarchy, but registering them means calling into the registry's own
+  /// internal lock — taking mutex_ across those calls would nest two
+  /// mutexes, the exact shape the leaf-lock rule forbids.
   void bind_metrics(MetricsRegistry* registry,
                     const std::string& prefix = "service.hierarchy")
       EXCLUDES(mutex_);
@@ -106,12 +110,15 @@ class SharedHierarchy {
   void pace() const EXCLUDES(mutex_);
 
   mutable Mutex mutex_;
+  // Both read-only after construction, hence lock-free readable. Declared
+  // before hier_ so fast_capacity_bytes_ can be read from the constructor
+  // parameter before it is moved from.
+  const double leader_pace_seconds_;
+  const u64 fast_capacity_bytes_;
   MemoryHierarchy hier_ GUARDED_BY(mutex_);
   u64 next_epoch_ GUARDED_BY(mutex_) = 0;
   std::multiset<u64> active_epochs_ GUARDED_BY(mutex_);
   RequestCoalescer coalescer_;
-  double leader_pace_seconds_;
-  u64 fast_capacity_bytes_;
 };
 
 }  // namespace vizcache

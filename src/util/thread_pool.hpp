@@ -74,6 +74,8 @@ class ThreadPool {
   CondVar cv_task_;  ///< signalled on submit() and shutdown()
   CondVar cv_idle_;  ///< signalled when the pool drains to empty+idle
   std::deque<std::packaged_task<void()>> queue_ GUARDED_BY(mutex_);
+  // analyze: allow(lock-unguarded-field): mutated only in the constructor
+  // (before any worker runs) and in shutdown() after the stop_ handshake.
   std::vector<std::thread> workers_;  ///< set in ctor, cleared by shutdown()
   usize active_ GUARDED_BY(mutex_) = 0;  ///< tasks currently executing
   bool stop_ GUARDED_BY(mutex_) = false;

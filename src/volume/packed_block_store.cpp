@@ -57,40 +57,56 @@ PackedFileBlockStore PackedFileBlockStore::write_store(
   return PackedFileBlockStore(path);
 }
 
-PackedFileBlockStore::PackedFileBlockStore(const std::string& path)
-    : path_(path) {
-  file_.open(path, std::ios::binary);
-  if (!file_) throw IoError("cannot open packed store: " + path);
+PackedFileBlockStore::ParsedHeader PackedFileBlockStore::parse_header(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open packed store: " + path);
 
   char magic[4];
-  file_.read(magic, 4);
-  if (!file_ || std::memcmp(magic, kMagic, 4) != 0) {
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
     throw IoError("not a vizcache packed store: " + path);
   }
   u64 header[8];
-  file_.read(reinterpret_cast<char*>(header), sizeof(header));
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
   u64 entry_count = 0;
-  file_.read(reinterpret_cast<char*>(&entry_count), sizeof(entry_count));
-  if (!file_) throw IoError("truncated packed store header: " + path);
+  in.read(reinterpret_cast<char*>(&entry_count), sizeof(entry_count));
+  if (!in) throw IoError("truncated packed store header: " + path);
 
-  desc_.name = std::filesystem::path(path).stem().string();
-  desc_.description = "packed block store";
-  desc_.dims = {header[0], header[1], header[2]};
-  desc_.variables = header[3];
-  desc_.timesteps = header[4];
+  ParsedHeader parsed;
+  parsed.desc.name = std::filesystem::path(path).stem().string();
+  parsed.desc.description = "packed block store";
+  parsed.desc.dims = {header[0], header[1], header[2]};
+  parsed.desc.variables = header[3];
+  parsed.desc.timesteps = header[4];
   Dims3 block_dims{header[5], header[6], header[7]};
-  grid_ = BlockGrid(desc_.dims, block_dims);
+  parsed.grid = BlockGrid(parsed.desc.dims, block_dims);
 
-  const usize expected =
-      grid_.block_count() * desc_.variables * desc_.timesteps;
+  const usize expected = parsed.grid.block_count() * parsed.desc.variables *
+                         parsed.desc.timesteps;
   if (entry_count != expected) {
     throw IoError("packed store entry count mismatch: " + path);
   }
-  offsets_.resize(entry_count + 1);
-  file_.read(reinterpret_cast<char*>(offsets_.data()),
-             static_cast<std::streamsize>(offsets_.size() * sizeof(u64)));
-  if (!file_) throw IoError("truncated packed store index: " + path);
-  payload_start_ = static_cast<u64>(file_.tellg());
+  parsed.offsets.resize(entry_count + 1);
+  in.read(reinterpret_cast<char*>(parsed.offsets.data()),
+          static_cast<std::streamsize>(parsed.offsets.size() * sizeof(u64)));
+  if (!in) throw IoError("truncated packed store index: " + path);
+  parsed.payload_start = static_cast<u64>(in.tellg());
+  return parsed;
+}
+
+PackedFileBlockStore::PackedFileBlockStore(const std::string& path)
+    : PackedFileBlockStore(path, parse_header(path)) {}
+
+PackedFileBlockStore::PackedFileBlockStore(const std::string& path,
+                                           ParsedHeader header)
+    : path_(path),
+      desc_(std::move(header.desc)),
+      grid_(header.grid),
+      offsets_(std::move(header.offsets)),
+      payload_start_(header.payload_start) {
+  file_.open(path, std::ios::binary);
+  if (!file_) throw IoError("cannot open packed store: " + path);
 }
 
 usize PackedFileBlockStore::entry_index(BlockId id, usize var,

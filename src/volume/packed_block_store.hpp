@@ -39,13 +39,27 @@ class PackedFileBlockStore final : public BlockStore {
   u64 file_bytes() const;
 
  private:
+  /// Everything the header + offset index determine, parsed with a local
+  /// stream so the members it feeds can be const.
+  struct ParsedHeader {
+    VolumeDesc desc;
+    BlockGrid grid;
+    std::vector<u64> offsets;
+    u64 payload_start = 0;
+  };
+  static ParsedHeader parse_header(const std::string& path);
+
+  PackedFileBlockStore(const std::string& path, ParsedHeader header);
+
   usize entry_index(BlockId id, usize var, usize timestep) const;
 
-  std::string path_;
-  VolumeDesc desc_;
-  BlockGrid grid_;
-  std::vector<u64> offsets_;
-  u64 payload_start_ = 0;  ///< file offset of the first payload byte
+  // All metadata is immutable once the file is parsed; only the stream
+  // position mutates, and that under io_mutex_.
+  const std::string path_;
+  const VolumeDesc desc_;
+  const BlockGrid grid_;
+  const std::vector<u64> offsets_;
+  const u64 payload_start_;  ///< file offset of the first payload byte
   mutable Mutex io_mutex_;  ///< one seek+read at a time (leaf lock)
   mutable std::ifstream file_ GUARDED_BY(io_mutex_);
 };

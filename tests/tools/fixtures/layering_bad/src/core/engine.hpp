@@ -1,0 +1,3 @@
+#pragma once
+
+inline int fixture_engine() { return 42; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "geom/b.hpp"
+
+inline int geom_a() { return geom_b() + 1; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "geom/a.hpp"
+
+inline int geom_b() { return 1; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "core/engine.hpp"
+
+inline int util_helper() { return fixture_engine(); }

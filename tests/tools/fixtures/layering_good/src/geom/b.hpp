@@ -1,0 +1,4 @@
+#pragma once
+#include "util/helper.hpp"
+
+inline int geom_b() { return util_helper(); }

@@ -1,0 +1,25 @@
+#include "util/worker.hpp"
+
+namespace fx {
+
+void Worker::submit() {
+  MutexLock lock(mutex_);
+  ++counter_;
+}
+
+void Worker::run() {
+  MutexLock lock(mutex_);
+  submit();  // seeded: lock-held-call (line 12)
+}
+
+void Worker::pause() {
+  MutexLock lock(mutex_);
+  std::this_thread::sleep_for(pause_quantum());  // seeded: lock-blocking (17)
+}
+
+void Worker::wait_done() {
+  MutexLock lock(mutex_);
+  cv_.wait(other_mutex_);  // seeded: lock-foreign-wait (line 22)
+}
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+#pragma once
+#include "util/annotated_mutex.hpp"
+
+namespace fx {
+
+class Worker {
+ public:
+  void submit() EXCLUDES(mutex_);
+  void run() EXCLUDES(mutex_);
+  void pause() EXCLUDES(mutex_);
+  void wait_done() EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  mutable Mutex other_mutex_;
+  CondVar cv_;
+  int counter_ GUARDED_BY(mutex_) = 0;
+  int unguarded = 0;  // seeded: lock-unguarded-field (line 18)
+};
+
+}  // namespace fx

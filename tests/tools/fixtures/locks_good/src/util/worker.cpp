@@ -1,0 +1,23 @@
+#include "util/worker.hpp"
+
+namespace fx {
+
+void Worker::submit() {
+  MutexLock lock(mutex_);
+  ++counter_;
+}
+
+void Worker::run() {
+  {
+    MutexLock lock(mutex_);
+    ++counter_;
+  }
+  submit();  // clean: the lock scope above has already closed
+}
+
+void Worker::wait_done() {
+  MutexLock lock(mutex_);
+  cv_.wait(mutex_);  // clean: waiting on the held mutex is sanctioned
+}
+
+}  // namespace fx

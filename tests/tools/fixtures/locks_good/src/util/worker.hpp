@@ -1,0 +1,19 @@
+#pragma once
+#include "util/annotated_mutex.hpp"
+
+namespace fx {
+
+class Worker {
+ public:
+  void submit() EXCLUDES(mutex_);
+  void run() EXCLUDES(mutex_);
+  void wait_done() EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  CondVar cv_;
+  int counter_ GUARDED_BY(mutex_) = 0;
+  const int quantum_ = 10;
+};
+
+}  // namespace fx

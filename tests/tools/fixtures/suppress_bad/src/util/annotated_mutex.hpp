@@ -1,0 +1,2 @@
+#pragma once
+// Fixture stub (skipped by the analyzer's IMPL_ALLOWLIST).

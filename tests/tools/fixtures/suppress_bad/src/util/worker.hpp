@@ -1,0 +1,14 @@
+#pragma once
+#include "util/annotated_mutex.hpp"
+
+namespace fx {
+
+class Worker {
+ private:
+  mutable Mutex mutex_;
+  int counter_ GUARDED_BY(mutex_) = 0;
+  // analyze: allow(lock-unguarded-field)
+  int settings = 0;
+};
+
+}  // namespace fx

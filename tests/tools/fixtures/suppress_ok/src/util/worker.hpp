@@ -1,0 +1,15 @@
+#pragma once
+#include "util/annotated_mutex.hpp"
+
+namespace fx {
+
+class Worker {
+ private:
+  mutable Mutex mutex_;
+  int counter_ GUARDED_BY(mutex_) = 0;
+  // analyze: allow(lock-unguarded-field): fixture — written once during
+  // single-threaded setup, read-only afterwards.
+  int settings = 0;
+};
+
+}  // namespace fx

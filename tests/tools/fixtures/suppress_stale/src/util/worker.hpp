@@ -1,0 +1,13 @@
+#pragma once
+#include "util/annotated_mutex.hpp"
+
+namespace fx {
+
+class Worker {
+ private:
+  mutable Mutex mutex_;
+  // analyze: allow(lock-unguarded-field): stale — the field is guarded.
+  int counter_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fx

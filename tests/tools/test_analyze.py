@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/analyze and the tokenizer-backed tools/lint.py.
+
+Each fixture tree under fixtures/ seeds specific violations on specific
+lines (or is the clean twin of one that does); the tests assert every check
+fires exactly where seeded, that clean trees exit 0, and that the driver's
+exit codes distinguish findings (1) from tool errors (2).
+
+Run directly (python3 tests/tools/test_analyze.py) or via ctest -L tools.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+FIXTURES = os.path.join(HERE, "fixtures")
+ANALYZE = [sys.executable, os.path.join(REPO, "tools", "analyze", "analyze.py")]
+LINT = [sys.executable, os.path.join(REPO, "tools", "lint.py")]
+
+_FINDING_RE = re.compile(r"^(.*?):(\d+): \[([a-z-]+)\]")
+
+
+def run_analyze(*args):
+    return subprocess.run(ANALYZE + list(args), capture_output=True, text=True)
+
+
+def analyze_fixture(name, *extra):
+    return run_analyze("src", "--root", os.path.join(FIXTURES, name), *extra)
+
+
+def findings_of(proc):
+    out = set()
+    for line in proc.stdout.splitlines():
+        m = _FINDING_RE.match(line)
+        if m:
+            out.add((m.group(1), int(m.group(2)), m.group(3)))
+    return out
+
+
+class IncludeGraphTest(unittest.TestCase):
+    def test_seeded_layering_violations(self):
+        proc = analyze_fixture("layering_bad")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertEqual(findings_of(proc), {
+            ("src/util/bad_upward.hpp", 2, "include-layering"),
+            ("src/geom/a.hpp", 2, "include-cycle"),
+        })
+
+    def test_clean_twin_passes(self):
+        proc = analyze_fixture("layering_good")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(findings_of(proc), set())
+
+    def test_dot_and_json_artifacts(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dot = os.path.join(tmp, "g.dot")
+            js = os.path.join(tmp, "g.json")
+            proc = analyze_fixture("layering_bad", "--dot", dot, "--json", js)
+            self.assertEqual(proc.returncode, 1)
+            with open(dot, encoding="utf-8") as f:
+                dot_text = f.read()
+            self.assertIn("digraph includes", dot_text)
+            self.assertIn('"src/util/bad_upward.hpp" -> "src/core/engine.hpp"',
+                          dot_text)
+            with open(js, encoding="utf-8") as f:
+                payload = json.load(f)
+            self.assertIn("src/geom/a.hpp", payload["files"])
+            checks = {v["check"] for v in payload["violations"]}
+            self.assertEqual(checks, {"include-layering", "include-cycle"})
+
+
+class LockGraphTest(unittest.TestCase):
+    def test_seeded_lock_violations(self):
+        proc = analyze_fixture("locks_bad")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertEqual(findings_of(proc), {
+            ("src/util/worker.cpp", 12, "lock-held-call"),
+            ("src/util/worker.cpp", 17, "lock-blocking"),
+            ("src/util/worker.cpp", 22, "lock-foreign-wait"),
+            ("src/util/worker.hpp", 18, "lock-unguarded-field"),
+        })
+
+    def test_clean_twin_passes(self):
+        # The twin exercises the two sanctioned shapes: calling a locking
+        # function after the MutexLock scope closes, and CondVar::wait on
+        # the held mutex itself.
+        proc = analyze_fixture("locks_good")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(findings_of(proc), set())
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_justified_allow_suppresses(self):
+        proc = analyze_fixture("suppress_ok")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_allow_without_justification_is_a_finding(self):
+        proc = analyze_fixture("suppress_bad")
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(findings_of(proc), {
+            ("src/util/worker.hpp", 10, "bad-suppression"),
+            # the malformed allow must NOT suppress the underlying finding
+            ("src/util/worker.hpp", 11, "lock-unguarded-field"),
+        })
+
+    def test_unmatched_allow_is_stale(self):
+        proc = analyze_fixture("suppress_stale")
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(findings_of(proc), {
+            ("src/util/worker.hpp", 9, "stale-suppression"),
+        })
+
+
+class DriverTest(unittest.TestCase):
+    def test_missing_tree_is_a_tool_error(self):
+        proc = run_analyze("no_such_tree", "--root", FIXTURES)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("error", proc.stderr)
+
+    def test_real_tree_is_clean(self):
+        proc = subprocess.run(ANALYZE + ["src", "bench", "examples", "tests"],
+                              cwd=REPO, capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+
+
+class LintTokenizerTest(unittest.TestCase):
+    """The lint port onto cpptok must not fire on literals or comments."""
+
+    def _run_lint(self, source):
+        tmp = tempfile.mkdtemp(prefix="lint-fixture-")
+        try:
+            with open(os.path.join(tmp, "probe.cpp"), "w",
+                      encoding="utf-8") as f:
+                f.write(source)
+            return subprocess.run(LINT + [tmp], capture_output=True,
+                                  text=True)
+        finally:
+            for name in os.listdir(tmp):
+                os.remove(os.path.join(tmp, name))
+            os.rmdir(tmp)
+
+    def test_literals_and_comments_do_not_fire(self):
+        proc = self._run_lint(
+            'static const char* a = "never delete this";\n'
+            'static const char* b = R"(std::cout << new int;)";\n'
+            "// a comment mentioning std::mutex and printf(\n"
+            "/* new delete std::cerr */\n")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_real_violations_still_fire(self):
+        proc = self._run_lint(
+            "int* leak() { return new int; }\n"
+            "void log_it() { std::cout << 1; }\n")
+        self.assertEqual(proc.returncode, 1)
+        checks = {m.group(3) for m in map(_FINDING_RE.match,
+                                          proc.stdout.splitlines()) if m}
+        self.assertEqual(checks, {"naked-new", "console-io"})
+
+    def test_deleted_special_members_allowed(self):
+        proc = self._run_lint(
+            "struct NoCopy {\n"
+            "  NoCopy(const NoCopy&) = delete;\n"
+            "  NoCopy& operator=(const NoCopy&) = delete;\n"
+            "};\n")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,1 @@
+"""vizcache static-analysis suite (see analyze.py for the driver)."""

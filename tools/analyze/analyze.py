@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Architecture analyzer driver: include-graph layering + lock-graph checks.
+
+Usage:
+    tools/analyze/analyze.py [paths...] [--root DIR]
+                             [--dot FILE] [--json FILE] [--baseline FILE]
+
+`paths` are tree roots relative to --root (default: src bench examples
+tests). Findings print as `path:line: [check] message` — the same shape as
+tools/lint.py — and the exit code distinguishes outcomes so CI can react
+correctly:
+
+    0   clean (or everything suppressed with a justification)
+    1   unsuppressed findings
+    2   tool error (bad invocation, missing tree, internal crash)
+
+Suppressions are per-finding and carry a mandatory justification:
+
+    // analyze: allow(<check>): <why this specific site is exempt>
+
+on the finding line or a comment directly above it (the justification may
+wrap onto further comment lines). An allow without a
+justification is itself a finding (bad-suppression), and an allow that
+matches nothing is one too (stale-suppression) — suppressions cannot rot
+silently. There is no in-repo baseline; --baseline exists for downstream
+forks and must stay empty here (CI runs without it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import include_graph as ig  # noqa: E402
+import lock_graph as lg  # noqa: E402
+from cpptok import iter_source_files  # noqa: E402
+from include_graph import Finding  # noqa: E402
+
+DEFAULT_ROOTS = ["src", "bench", "examples", "tests"]
+# The analyzer's own fixtures contain *seeded* violations; never scan them
+# as part of the real tree.
+DEFAULT_EXCLUDE = ("tests/tools",)
+
+_ALLOW_RE = re.compile(r"//\s*analyze:\s*allow\(([a-z0-9_-]+)\)(:?\s*(.*))?$")
+
+
+class ToolError(Exception):
+    """Invocation/environment problem — exit 2, not a finding."""
+
+
+def collect_suppressions(root: str, rel_roots: list[str],
+                         exclude: tuple[str, ...]):
+    """Scan raw source lines for allow-comments. Returns (suppressions,
+    findings) where findings are the malformed ones (bad-suppression)."""
+    suppressions: list[dict] = []
+    findings: list[Finding] = []
+    abs_roots = [os.path.join(root, r) for r in rel_roots]
+    for path in iter_source_files(abs_roots):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if any(rel == e or rel.startswith(e + "/") for e in exclude):
+            continue
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for lineno, text in enumerate(lines, 1):
+            m = _ALLOW_RE.search(text)
+            if not m:
+                continue
+            check = m.group(1)
+            justification = (m.group(3) or "").strip()
+            if not m.group(2) or not justification:
+                findings.append(Finding(
+                    rel, lineno, "bad-suppression",
+                    f"allow({check}) without a justification — write "
+                    f"'// analyze: allow({check}): <reason>'"))
+                continue
+            # The suppression covers its own line and the annotated site
+            # below it; the justification may wrap onto further comment
+            # lines, so skip past those to the first code line.
+            covers = {lineno}
+            j = lineno  # 0-based index of the next line
+            while j < len(lines) and lines[j].lstrip().startswith("//"):
+                j += 1
+            covers.add(j + 1)
+            suppressions.append({
+                "path": rel, "line": lineno, "covers": covers,
+                "check": check, "justification": justification,
+                "used": False,
+            })
+    return suppressions, findings
+
+
+def apply_suppressions(findings: list[Finding],
+                       suppressions: list[dict]) -> list[Finding]:
+    """A suppression covers same-check findings on its own line or the line
+    directly below (comment-above-the-site is the usual style)."""
+    index: dict[tuple, list[dict]] = {}
+    for s in suppressions:
+        for covered in s["covers"]:
+            index.setdefault((s["path"], covered, s["check"]), []).append(s)
+    kept = []
+    for f in findings:
+        matches = index.get((f.path, f.line, f.check))
+        if matches:
+            for s in matches:
+                s["used"] = True
+        else:
+            kept.append(f)
+    return kept
+
+
+def stale_suppressions(suppressions: list[dict]) -> list[Finding]:
+    return [
+        Finding(s["path"], s["line"], "stale-suppression",
+                f"allow({s['check']}) matches no finding — remove it")
+        for s in suppressions if not s["used"]
+    ]
+
+
+def load_baseline(path: str | None) -> set[tuple]:
+    if not path:
+        return set()
+    try:
+        with open(path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except (OSError, ValueError) as e:
+        raise ToolError(f"cannot read baseline {path}: {e}") from e
+    if not isinstance(entries, list):
+        raise ToolError(f"baseline {path} must be a JSON list")
+    return {(e["path"], e.get("line"), e["check"]) for e in entries}
+
+
+def run(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="analyze.py",
+        description="vizcache architecture analyzer "
+                    "(include layering + lock graph)")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="tree roots relative to --root "
+                         f"(default: {' '.join(DEFAULT_ROOTS)})")
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--dot", help="write the include graph as DOT")
+    ap.add_argument("--json", dest="json_out",
+                    help="write graph + findings as JSON")
+    ap.add_argument("--baseline",
+                    help="JSON list of known findings to ignore "
+                         "(kept empty in this repo)")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    rel_roots = args.paths or DEFAULT_ROOTS
+    for r in rel_roots:
+        if not os.path.isdir(os.path.join(root, r)):
+            raise ToolError(f"no such tree: {os.path.join(root, r)}")
+
+    graph = ig.build_graph(root, rel_roots, exclude=DEFAULT_EXCLUDE)
+    findings = ig.check_layering(graph)
+    findings += ig.find_cycles(graph)
+    model = lg.build_model(root, rel_roots, exclude=DEFAULT_EXCLUDE)
+    findings += lg.check_lock_graph(model)
+
+    suppressions, supp_findings = collect_suppressions(
+        root, rel_roots, DEFAULT_EXCLUDE)
+    findings = apply_suppressions(findings, suppressions)
+    findings += supp_findings
+    findings += stale_suppressions(suppressions)
+
+    baseline = load_baseline(args.baseline)
+    findings = [
+        f for f in findings
+        if (f.path, f.line, f.check) not in baseline
+        and (f.path, None, f.check) not in baseline
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+
+    if args.dot:
+        ig.write_dot(graph, args.dot)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            f.write(ig.graph_json(graph, findings))
+
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.check}] {f.message}")
+    nfiles = len(graph)
+    if findings:
+        print(f"analyze: {len(findings)} finding(s) across {nfiles} files",
+              file=sys.stderr)
+        return 1
+    print(f"analyze: OK ({nfiles} files, "
+          f"{len(suppressions)} suppression(s))", file=sys.stderr)
+    return 0
+
+
+def main() -> None:
+    try:
+        sys.exit(run(sys.argv[1:]))
+    except ToolError as e:
+        print(f"analyze: error: {e}", file=sys.stderr)
+        sys.exit(2)
+    except Exception:  # noqa: BLE001 — crash => exit 2, distinct from 1
+        import traceback
+        traceback.print_exc()
+        print("analyze: internal error (this is a bug in the analyzer, "
+              "not a finding)", file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,249 @@
+"""Shared C++ lexer for the vizcache analysis tools.
+
+One tokenizer, three consumers (tools/lint.py, include_graph.py,
+lock_graph.py), so every check sees the same view of the source: comments
+gone, string/char literals reduced to opaque tokens, raw strings handled —
+a `"delete"` inside a log message or an `R"(std::cout)"` test payload can
+never trigger a lexical check again.
+
+This is a *lexer*, not a parser: it guarantees token identity and line
+numbers, nothing about grammar. The analyzers layer heuristic structure
+(class bodies, function bodies, call sites) on top of the token stream.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+# Token kinds:
+#   id     identifier or keyword
+#   num    numeric literal (pp-number: good enough to skip it atomically)
+#   str    string literal (text is the OPENING QUOTE ONLY — payload dropped)
+#   char   character literal (payload dropped)
+#   punct  operator / punctuator
+#   pp     whole preprocessor directive, backslash continuations joined
+KINDS = ("id", "num", "str", "char", "punct", "pp")
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: str
+    text: str
+    line: int  # 1-based line of the token's first character
+
+    def __repr__(self) -> str:  # compact: Tok(id 'Mutex' @12)
+        return f"Tok({self.kind} {self.text!r} @{self.line})"
+
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# pp-number: consume digits, identifier chars, dots, and exponent signs.
+_NUM_RE = re.compile(r"\.?[0-9](?:'?[0-9A-Za-z_.]|[eEpP][+-])*")
+_RAW_PREFIX_RE = re.compile(r'(?:u8|u|U|L)?R"')
+_STR_PREFIX_RE = re.compile(r'(?:u8|u|U|L)?"')
+_CHAR_PREFIX_RE = re.compile(r"(?:u8|u|U|L)?'")
+
+# Longest-match punctuator table (only multi-char ones need listing; any
+# other single character falls through to a one-char punct token).
+_PUNCTS = sorted(
+    [
+        "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+        "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+        "|=", "^=", ".*", "##",
+    ],
+    key=len,
+    reverse=True,
+)
+
+
+def tokenize(text: str) -> list[Tok]:
+    """Lex `text` into tokens. Never raises on malformed input: an
+    unterminated comment/string simply consumes to end of file (mirroring
+    how a compiler would error, without making the *linter* the thing that
+    crashes)."""
+    toks: list[Tok] = []
+    i, n = 0, len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def count_newlines(segment: str) -> int:
+        return segment.count("\n")
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+
+        # -- whitespace ----------------------------------------------------
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+
+        # -- comments ------------------------------------------------------
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+            continue
+        if c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                line += count_newlines(text[i:])
+                i = n
+            else:
+                line += count_newlines(text[i : j + 2])
+                i = j + 2
+            continue
+
+        # -- preprocessor directive ---------------------------------------
+        if c == "#" and at_line_start:
+            start_line = line
+            parts: list[str] = []
+            while i < n:
+                j = text.find("\n", i)
+                j = n if j == -1 else j
+                segment = text[i:j]
+                i = j + 1 if j < n else n
+                if j < n:
+                    line += 1
+                if segment.endswith("\\"):
+                    parts.append(segment[:-1])
+                    continue
+                parts.append(segment)
+                break
+            directive = " ".join(parts)
+            # Strip a trailing // comment (block comments inside directives
+            # are vanishingly rare in this tree; // is the common case).
+            directive = re.sub(r"//.*$", "", directive).rstrip()
+            toks.append(Tok("pp", directive, start_line))
+            at_line_start = True
+            continue
+
+        at_line_start = False
+
+        # -- raw strings (checked before plain strings!) -------------------
+        m = _RAW_PREFIX_RE.match(text, i)
+        if m:
+            delim_end = text.find("(", m.end())
+            if delim_end == -1:  # malformed; treat rest of file as string
+                line += count_newlines(text[i:])
+                toks.append(Tok("str", '"', line))
+                i = n
+                continue
+            delim = text[m.end() : delim_end]
+            closer = ")" + delim + '"'
+            j = text.find(closer, delim_end + 1)
+            end = n if j == -1 else j + len(closer)
+            line_of = line
+            line += count_newlines(text[i:end])
+            toks.append(Tok("str", '"', line_of))
+            i = end
+            continue
+
+        # -- string / char literals ---------------------------------------
+        m = _STR_PREFIX_RE.match(text, i)
+        if not m:
+            m = _CHAR_PREFIX_RE.match(text, i)
+        if m:
+            quote = text[m.end() - 1]
+            j = m.end()
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            line_of = line
+            line += count_newlines(text[i : min(j + 1, n)])
+            toks.append(Tok("str" if quote == '"' else "char", quote, line_of))
+            i = min(j + 1, n)
+            continue
+
+        # -- identifiers / numbers ----------------------------------------
+        m = _ID_RE.match(text, i)
+        if m:
+            toks.append(Tok("id", m.group(0), line))
+            i = m.end()
+            continue
+        m = _NUM_RE.match(text, i)
+        if m:
+            toks.append(Tok("num", m.group(0), line))
+            i = m.end()
+            continue
+
+        # -- punctuators ---------------------------------------------------
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                toks.append(Tok("punct", p, line))
+                i += len(p)
+                break
+        else:
+            toks.append(Tok("punct", c, line))
+            i += 1
+
+    return toks
+
+
+def scrub(text: str) -> str:
+    """`text` with comments and string/char literal *contents* replaced by
+    spaces, line structure preserved — the line-oriented fallback for tools
+    that still want regexes over clean source (raw strings handled, unlike
+    the ad-hoc stripper this replaces)."""
+    out: list[str] = []
+    i, n = 0, len(text)
+
+    def blank(segment: str) -> str:
+        return "".join(ch if ch == "\n" else " " for ch in segment)
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(blank(text[i:j]))
+            i = j
+        elif _RAW_PREFIX_RE.match(text, i):
+            m = _RAW_PREFIX_RE.match(text, i)
+            delim_end = text.find("(", m.end())
+            if delim_end == -1:
+                out.append(blank(text[i:]))
+                i = n
+                continue
+            delim = text[m.end() : delim_end]
+            closer = ")" + delim + '"'
+            j = text.find(closer, delim_end + 1)
+            j = n if j == -1 else j + len(closer)
+            out.append('"' + blank(text[i + 1 : j - 1]).replace('"', " ") + '"'
+                       if j - i >= 2 else blank(text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + blank(text[i + 1 : j - 1]) +
+                       (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(roots: Iterable[str], exts={".hpp", ".cpp"}):
+    """Walk `roots` yielding source paths in deterministic order."""
+    import os
+
+    for root in roots:
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in exts:
+                    yield os.path.join(dirpath, name)

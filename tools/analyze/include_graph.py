@@ -1,0 +1,253 @@
+"""Include-graph extraction + layering enforcement.
+
+The repo's dependency order (DESIGN.md §3) is a hard DAG:
+
+    util -> geom -> volume -> storage -> render -> core -> service
+
+with the top-level trees (bench/, examples/, tests/) above every library
+layer. A file may include its own layer and any layer *below* it; an
+include that points upward is a layering violation, and any include cycle
+(even within one layer) is a build-order landmine. Both are findings.
+
+The full file-level graph is also exported as DOT + JSON so CI can archive
+the architecture as an artifact per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+from cpptok import iter_source_files, tokenize
+
+LAYERS = ["util", "geom", "volume", "storage", "render", "core", "service"]
+TOP_TREES = ("bench", "examples", "tests")
+TOP_RANK = len(LAYERS)
+
+_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+@dataclass
+class FileNode:
+    rel: str                      # repo-relative path, '/'-separated
+    layer: str                    # one of LAYERS, a top tree, or "?"
+    includes: list = field(default_factory=list)  # (target_rel, line)
+    unresolved: list = field(default_factory=list)  # (raw_include, line)
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    check: str
+    message: str
+
+
+def layer_of(rel: str) -> str:
+    parts = rel.split("/")
+    if parts[0] == "src" and len(parts) > 1 and parts[1] in LAYERS:
+        return parts[1]
+    if parts[0] in TOP_TREES:
+        return parts[0]
+    return "?"
+
+
+def rank_of(layer: str) -> int:
+    if layer in LAYERS:
+        return LAYERS.index(layer)
+    if layer in TOP_TREES:
+        return TOP_RANK
+    return -1
+
+
+def build_graph(root: str, rel_roots: list[str],
+                exclude: tuple[str, ...] = ()) -> dict[str, FileNode]:
+    """Scan `rel_roots` (relative to `root`) and build the quote-include
+    graph. System includes (<...>) are outside the architecture and ignored.
+    `exclude` prefixes (e.g. the analyzer's own test fixtures) are skipped."""
+    graph: dict[str, FileNode] = {}
+    abs_roots = [os.path.join(root, r) for r in rel_roots]
+    for path in iter_source_files(abs_roots):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if any(rel == e or rel.startswith(e + "/") for e in exclude):
+            continue
+        node = FileNode(rel=rel, layer=layer_of(rel))
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for tok in tokenize(text):
+            if tok.kind != "pp":
+                continue
+            m = _INCLUDE_RE.match(tok.text.strip())
+            if not m:
+                continue
+            target = _resolve(root, rel, m.group(1))
+            if target is None:
+                node.unresolved.append((m.group(1), tok.line))
+            else:
+                node.includes.append((target, tok.line))
+        graph[rel] = node
+    return graph
+
+
+def _resolve(root: str, includer_rel: str, inc: str) -> str | None:
+    """Map a quote-include to a repo-relative path. Layer-qualified form
+    ("util/log.hpp") resolves against src/ whether or not the file exists in
+    the scanned set; otherwise the include is tried relative to the
+    including file (the bench/common.hpp idiom)."""
+    first = inc.split("/", 1)[0]
+    if first in LAYERS:
+        return "src/" + inc
+    rel_to_file = os.path.normpath(
+        os.path.join(os.path.dirname(includer_rel), inc)).replace(os.sep, "/")
+    if os.path.isfile(os.path.join(root, rel_to_file)):
+        return rel_to_file
+    if os.path.isfile(os.path.join(root, "src", inc)):
+        return ("src/" + inc).replace(os.sep, "/")
+    return None
+
+
+def check_layering(graph: dict[str, FileNode]) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in graph.values():
+        src_layer, src_rank = node.layer, rank_of(node.layer)
+        for target, line in node.includes:
+            tgt_layer = layer_of(target)
+            tgt_rank = rank_of(tgt_layer)
+            if tgt_rank < 0 or src_rank < 0:
+                continue  # unknown tree: reported via include-unresolved
+            if tgt_layer in TOP_TREES and tgt_layer != src_layer:
+                findings.append(Finding(
+                    node.rel, line, "include-layering",
+                    f"{src_layer}/ must not include from {tgt_layer}/ "
+                    f"({target}) — top-level trees are siloed"))
+            elif tgt_rank > src_rank:
+                findings.append(Finding(
+                    node.rel, line, "include-layering",
+                    f"layer '{src_layer}' includes upward into "
+                    f"'{tgt_layer}' ({target}); allowed order is "
+                    + " -> ".join(LAYERS)
+                    + " with bench/examples/tests on top"))
+        for raw, line in node.unresolved:
+            findings.append(Finding(
+                node.rel, line, "include-unresolved",
+                f'cannot resolve #include "{raw}" — includes must be '
+                "layer-qualified (\"util/log.hpp\") or relative to the "
+                "including file"))
+    return findings
+
+
+def find_cycles(graph: dict[str, FileNode]) -> list[Finding]:
+    """Tarjan SCC over the file graph; every SCC with more than one node
+    (or a self-loop) is reported once, with the member files listed."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    adjacency = {
+        rel: [t for t, _ in node.includes if t in graph]
+        for rel, node in graph.items()
+    }
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan: the call stack of a deep include chain would
+        # otherwise overflow Python's recursion limit.
+        work = [(v, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            neighbors = adjacency[node]
+            while pi < len(neighbors):
+                w = neighbors[pi]
+                pi += 1
+                if w not in index:
+                    work[-1] = (node, pi)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent, _ = work[-1]
+                low[parent] = min(low[parent], low[node])
+
+    for v in sorted(adjacency):
+        if v not in index:
+            strongconnect(v)
+
+    findings: list[Finding] = []
+    for scc in sccs:
+        self_loop = len(scc) == 1 and scc[0] in adjacency[scc[0]]
+        if len(scc) < 2 and not self_loop:
+            continue
+        members = sorted(scc)
+        anchor = members[0]
+        line = next((ln for t, ln in graph[anchor].includes if t in scc), 1)
+        findings.append(Finding(
+            anchor, line, "include-cycle",
+            "include cycle: " + " -> ".join(members + [members[0]])))
+    return findings
+
+
+def write_dot(graph: dict[str, FileNode], path: str) -> None:
+    by_layer: dict[str, list[str]] = {}
+    for node in graph.values():
+        by_layer.setdefault(node.layer, []).append(node.rel)
+    order = LAYERS + list(TOP_TREES) + ["?"]
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("digraph includes {\n  rankdir=BT;\n  node [shape=box, "
+                "fontsize=9];\n")
+        for layer in order:
+            if layer not in by_layer:
+                continue
+            f.write(f'  subgraph "cluster_{layer}" {{\n')
+            f.write(f'    label="{layer}";\n')
+            for rel in sorted(by_layer[layer]):
+                f.write(f'    "{rel}";\n')
+            f.write("  }\n")
+        for rel in sorted(graph):
+            for target, _ in graph[rel].includes:
+                f.write(f'  "{rel}" -> "{target}";\n')
+        f.write("}\n")
+
+
+def graph_json(graph: dict[str, FileNode],
+               findings: list[Finding]) -> str:
+    payload = {
+        "layers": LAYERS,
+        "top_trees": list(TOP_TREES),
+        "files": {
+            rel: {
+                "layer": node.layer,
+                "includes": sorted({t for t, _ in node.includes}),
+            }
+            for rel, node in sorted(graph.items())
+        },
+        "violations": [
+            {"path": f.path, "line": f.line, "check": f.check,
+             "message": f.message}
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

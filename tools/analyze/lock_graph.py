@@ -1,0 +1,699 @@
+"""Static lock-graph verification of the leaf-lock rule.
+
+DESIGN.md ("Locking discipline") states the repo-wide invariant: every
+vizcache Mutex is a *leaf* lock — no code path acquires a second Mutex,
+sleeps, or performs blocking work while holding one. PR 1 made the data
+side checkable (`GUARDED_BY` + clang -Wthread-safety); this pass makes the
+*call* side checkable without running anything:
+
+  lock-held-call       a function that acquires a Mutex (constructs a
+                       MutexLock, or is EXCLUDES/ACQUIRE-annotated) — or a
+                       REQUIRES-annotated function whose mutex is not the
+                       one held — is called while a MutexLock is live
+  lock-blocking        blocking work under a lock: file I/O, stream ctors,
+                       thread joins, sleeps, or a call to a function whose
+                       body directly sleeps / does file I/O
+  lock-foreign-wait    CondVar::wait(m) while holding a lock on a mutex
+                       other than m (waiting on the held mutex is the one
+                       sanctioned exception)
+  lock-unguarded-field a non-static field of a Mutex-owning class with no
+                       GUARDED_BY/PT_GUARDED_BY and no exempting shape
+                       (const, reference, atomic, Mutex/CondVar, or a type
+                       that is itself a lock-owning class)
+
+The one sanctioned escape hatch: a call or I/O operation on a *field that
+is GUARDED_BY the held mutex* is exempt — operating on the data the lock
+guards is the critical section's purpose (e.g. PackedFileBlockStore's
+file_ reads under io_mutex_, SharedHierarchy's hier_ calls under mutex_).
+
+What this pass can and cannot prove is documented in DESIGN.md
+("Architecture analysis"): resolution is name-based and one level deep —
+it will not see a lock acquired two calls away, and a genuinely ambiguous
+method name can need an `analyze: allow` suppression. It complements, not
+replaces, -Wthread-safety (data races) and TSan (dynamic interleavings).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from cpptok import Tok, tokenize, iter_source_files
+from include_graph import Finding
+
+# The annotated primitive itself: its internals ARE the raw synchronization
+# layer and are vetted by hand + lint's raw-sync allowlist.
+IMPL_ALLOWLIST = {"src/util/annotated_mutex.hpp"}
+
+ANNOTATIONS = {
+    "CAPABILITY", "SCOPED_CAPABILITY", "GUARDED_BY", "PT_GUARDED_BY",
+    "ACQUIRED_BEFORE", "ACQUIRED_AFTER", "REQUIRES", "REQUIRES_SHARED",
+    "ACQUIRE", "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED", "TRY_ACQUIRE",
+    "EXCLUDES", "ASSERT_CAPABILITY", "RETURN_CAPABILITY",
+    "NO_THREAD_SAFETY_ANALYSIS", "VIZ_THREAD_ANNOTATION",
+}
+
+KEYWORDS = {
+    "if", "while", "for", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "noexcept", "throw", "new", "delete", "co_await",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast", "assert",
+    "defined", "typeid",
+}
+
+SLEEP_NAMES = {"sleep_for", "sleep_until", "usleep", "nanosleep"}
+STREAM_TYPES = {"ifstream", "ofstream", "fstream"}
+FILE_IO_METHODS = {"open", "read", "write", "seekg", "seekp", "tellg",
+                   "getline", "close"}
+JOIN_METHODS = {"join"}
+
+
+@dataclass
+class FieldInfo:
+    name: str
+    line: int
+    file: str
+    cls: str
+    guarded_by: str | None = None
+    is_mutex: bool = False
+    is_condvar: bool = False
+    is_const: bool = False
+    is_ref: bool = False
+    is_static: bool = False
+    is_atomic: bool = False
+    type_ids: tuple = ()
+
+
+@dataclass
+class MethodSig:
+    name: str
+    cls: str
+    requires: str | None = None   # REQUIRES(arg) text
+    acquires: bool = False        # EXCLUDES/ACQUIRE-annotated declaration
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    file: str
+    line: int
+    fields: dict = field(default_factory=dict)    # name -> FieldInfo
+    methods: dict = field(default_factory=dict)   # name -> MethodSig
+
+    @property
+    def mutexes(self):
+        return {f.name for f in self.fields.values() if f.is_mutex}
+
+
+@dataclass
+class FuncBody:
+    name: str
+    cls: str | None
+    file: str
+    toks: list              # body tokens, excluding the outer braces
+    line: int
+
+
+class Model:
+    """Whole-tree registry built in pass 1, queried in passes 2 and 3."""
+
+    def __init__(self):
+        self.classes: dict[str, ClassInfo] = {}
+        self.bodies: list[FuncBody] = []
+        # name -> evidence; values are human-readable origins for messages.
+        self.locking: dict[str, str] = {}
+        self.requires: dict[str, list[MethodSig]] = {}
+        self.blocking: dict[str, str] = {}
+        self.field_index: dict[str, list[FieldInfo]] = {}
+
+    def add_class(self, cls: ClassInfo) -> None:
+        self.classes[cls.name] = cls
+        for f in cls.fields.values():
+            self.field_index.setdefault(f.name, []).append(f)
+
+
+# --------------------------------------------------------------------------
+# Pass 1: parse files into classes + function bodies
+# --------------------------------------------------------------------------
+
+def _match_paren(toks: list[Tok], i: int) -> int:
+    """toks[i] is '('; return index just past its matching ')'."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if toks[i].kind == "punct":
+            if t == "(":
+                depth += 1
+            elif t == ")":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return len(toks)
+
+
+def _match_brace(toks: list[Tok], i: int) -> int:
+    """toks[i] is '{'; return index just past its matching '}'."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if toks[i].kind == "punct":
+            if t == "{":
+                depth += 1
+            elif t == "}":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return len(toks)
+
+
+def _expr_text(toks: list[Tok]) -> str:
+    return "".join(t.text for t in toks)
+
+
+def _extract_annotations(stmt: list[Tok]):
+    """Split `stmt` into (tokens-without-annotation-groups, {macro: argtext})."""
+    out: list[Tok] = []
+    annots: dict[str, str] = {}
+    i = 0
+    while i < len(stmt):
+        t = stmt[i]
+        if (t.kind == "id" and t.text in ANNOTATIONS
+                and i + 1 < len(stmt) and stmt[i + 1].text == "("):
+            end = _match_paren(stmt, i + 1)
+            annots[t.text] = _expr_text(stmt[i + 2 : end - 1])
+            i = end
+            continue
+        if t.kind == "id" and t.text in ANNOTATIONS:
+            annots.setdefault(t.text, "")
+            i += 1
+            continue
+        out.append(t)
+        i += 1
+    return out, annots
+
+
+def _paren_indices_at_angle0(stmt: list[Tok]) -> list[int]:
+    """Indices of '(' tokens not nested inside template angle brackets."""
+    idxs = []
+    angle = 0
+    pdepth = 0
+    for i, t in enumerate(stmt):
+        if t.kind != "punct":
+            continue
+        if t.text == "<":
+            angle += 1
+        elif t.text == ">" and angle > 0:
+            angle -= 1
+        elif t.text == ">>" and angle > 0:
+            angle = max(0, angle - 2)
+        elif t.text == "(":
+            if angle == 0 and pdepth == 0:
+                idxs.append(i)
+            pdepth += 1
+        elif t.text == ")":
+            pdepth = max(0, pdepth - 1)
+    return idxs
+
+
+class _Parser:
+    def __init__(self, rel: str, toks: list[Tok], model: Model):
+        self.rel = rel
+        self.toks = toks
+        self.model = model
+
+    def parse(self) -> None:
+        self._scan_region(0, len(self.toks), cls=None)
+
+    # -- region scanning ---------------------------------------------------
+
+    def _scan_region(self, i: int, end: int, cls: ClassInfo | None) -> None:
+        """Scan declarations between i and end (namespace or class body)."""
+        toks = self.toks
+        stmt_start = i
+        while i < end:
+            t = toks[i]
+            if t.kind == "pp":
+                i += 1
+                stmt_start = i
+                continue
+            if t.kind == "punct" and t.text == ";":
+                self._handle_statement(toks[stmt_start:i], cls, body=None)
+                i += 1
+                stmt_start = i
+                continue
+            if t.kind == "punct" and t.text == ":":
+                # access specifier inside a class body
+                stmt = toks[stmt_start:i]
+                if (cls is not None and len(stmt) == 1 and stmt[0].kind == "id"
+                        and stmt[0].text in ("public", "private", "protected")):
+                    i += 1
+                    stmt_start = i
+                    continue
+                i += 1
+                continue
+            if t.kind == "punct" and t.text == "{":
+                stmt = toks[stmt_start:i]
+                close = _match_brace(toks, i)
+                kind = self._statement_kind(stmt)
+                if kind == "namespace":
+                    self._scan_region(i + 1, close - 1, cls=None)
+                elif kind == "class":
+                    self._parse_class(stmt, i, close)
+                elif kind == "function":
+                    self._handle_statement(stmt, cls, body=(i + 1, close - 1))
+                elif kind == "initializer":
+                    # brace init of a member/variable: statement continues
+                    i = close
+                    continue
+                # enum / extern / unknown: skip the block either way
+                i = close
+                # an optional trailing ';' is consumed by the ';' branch
+                stmt_start = i
+                continue
+            i += 1
+
+    @staticmethod
+    def _statement_kind(stmt: list[Tok]) -> str:
+        ids = [t.text for t in stmt if t.kind == "id"]
+        j = 0
+        if ids[:1] == ["template"]:
+            pass  # fall through: templated class or function
+        for t in stmt:
+            if t.kind != "id":
+                continue
+            if t.text == "namespace":
+                return "namespace"
+            if t.text in ("class", "struct", "union"):
+                # 'enum class' is an enum; 'struct' in a param list can't
+                # reach here (that statement would contain '(' first).
+                if "enum" in ids:
+                    return "enum"
+                # a declaration like 'struct X x = {...}' is not a definition
+                return "class"
+            if t.text == "enum":
+                return "enum"
+            break
+        if _paren_indices_at_angle0(_extract_annotations(stmt)[0]):
+            return "function"
+        if stmt and any(t.text == "=" for t in stmt):
+            return "initializer"
+        if not ids:
+            return "unknown"
+        return "initializer"
+
+    # -- class parsing -----------------------------------------------------
+
+    def _parse_class(self, head: list[Tok], brace: int, close: int) -> None:
+        # class name: last plain id before ':' (bases) / '{', skipping
+        # annotation macros and 'final'.
+        head_wo, _ = _extract_annotations(head)
+        name = None
+        for t in head_wo:
+            if t.kind == "id" and t.text in ("class", "struct", "union",
+                                             "final", "alignas"):
+                continue
+            if t.kind == "punct" and t.text == ":":
+                break
+            if t.kind == "id":
+                name = t.text
+        if name is None:
+            return
+        cls = ClassInfo(name=name, file=self.rel,
+                        line=head[0].line if head else self.toks[brace].line)
+        self._scan_region(brace + 1, close - 1, cls=cls)
+        self.model.add_class(cls)
+
+    # -- statement classification within a region --------------------------
+
+    def _handle_statement(self, stmt: list[Tok], cls: ClassInfo | None,
+                          body) -> None:
+        if not stmt:
+            return
+        first = stmt[0]
+        if first.kind == "id" and first.text in ("using", "typedef", "friend",
+                                                 "template"):
+            # templates: the repo's lock classes are untemplated; skip.
+            if body is None:
+                return
+        clean, annots = _extract_annotations(stmt)
+        parens = _paren_indices_at_angle0(clean)
+        if parens:
+            self._handle_function(stmt, clean, annots, parens, cls, body)
+        elif cls is not None and body is None:
+            self._handle_field(clean, annots, cls)
+
+    def _handle_function(self, stmt, clean, annots, parens, cls, body):
+        # function name = identifier immediately before the first angle-0 '('
+        p = parens[0]
+        if p == 0:
+            return
+        nm = clean[p - 1]
+        if nm.kind != "id":
+            return  # operator overloads etc.: not name-addressable, skip
+        name = nm.text
+        # owning class: 'Cls :: name (' in a .cpp, else the enclosing class
+        owner = cls.name if cls is not None else None
+        if p >= 3 and clean[p - 2].text == "::" and clean[p - 3].kind == "id":
+            owner = clean[p - 3].text
+        sig = MethodSig(name=name, cls=owner or "")
+        if "REQUIRES" in annots or "REQUIRES_SHARED" in annots:
+            sig.requires = annots.get("REQUIRES", annots.get("REQUIRES_SHARED"))
+            self.model.requires.setdefault(name, []).append(sig)
+        if any(a in annots for a in ("EXCLUDES", "ACQUIRE", "ACQUIRE_SHARED")):
+            sig.acquires = True
+            qual = f"{owner}::{name}" if owner else name
+            self.model.locking.setdefault(
+                name, f"{qual} is EXCLUDES/ACQUIRE-annotated "
+                      f"({self.rel}:{nm.line})")
+        if cls is not None and name not in cls.methods:
+            cls.methods[name] = sig
+        if body is not None:
+            lo, hi = body
+            self.model.bodies.append(FuncBody(
+                name=name, cls=owner, file=self.rel,
+                toks=self.toks[lo:hi], line=nm.line))
+
+    def _handle_field(self, clean, annots, cls: ClassInfo) -> None:
+        if not clean:
+            return
+        ids = [t for t in clean if t.kind == "id"]
+        if not ids:
+            return
+        kw = {t.text for t in ids}
+        if kw & {"using", "typedef", "friend", "static_assert", "enum"}:
+            return
+        # name: last id before '=' / '{' (default init), else last id.
+        name_tok = None
+        for t in clean:
+            if t.kind == "punct" and t.text in ("=", "{"):
+                break
+            if t.kind == "id" and t.text not in ("const", "mutable", "static",
+                                                 "constexpr", "volatile"):
+                name_tok = t
+        if name_tok is None:
+            return
+        type_ids = tuple(t.text for t in ids if t is not name_tok)
+        angle = 0
+        top_amp = False
+        for t in clean:
+            if t.kind != "punct":
+                continue
+            if t.text == "<":
+                angle += 1
+            elif t.text == ">":
+                angle = max(0, angle - 1)
+            elif t.text == ">>":
+                angle = max(0, angle - 2)
+            elif t.text == "&" and angle == 0:
+                top_amp = True
+        info = FieldInfo(
+            name=name_tok.text, line=name_tok.line, file=self.rel,
+            cls=cls.name,
+            guarded_by=annots.get("GUARDED_BY", annots.get("PT_GUARDED_BY")),
+            is_mutex="Mutex" in type_ids,
+            is_condvar="CondVar" in type_ids,
+            is_const="const" in kw or "constexpr" in kw,
+            is_ref=top_amp,
+            is_static="static" in kw,
+            is_atomic="atomic" in type_ids,
+            type_ids=type_ids,
+        )
+        cls.fields[info.name] = info
+
+
+# --------------------------------------------------------------------------
+# Pass 2: classify functions (locking / blocking)
+# --------------------------------------------------------------------------
+
+def _body_acquires(body: FuncBody) -> bool:
+    toks = body.toks
+    for i, t in enumerate(toks):
+        if t.kind == "id" and t.text == "MutexLock":
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            if nxt is not None and (nxt.kind == "id" or nxt.text == "("):
+                return True
+    return False
+
+
+def _body_blocks(body: FuncBody, model: Model) -> str | None:
+    toks = body.toks
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        if t.text in SLEEP_NAMES and nxt == "(":
+            return f"calls std::this_thread::{t.text}"
+        if t.text in STREAM_TYPES:
+            return f"constructs std::{t.text}"
+        if t.text in FILE_IO_METHODS and nxt == "(" and i > 0 and \
+                toks[i - 1].text in (".", "->"):
+            recv = toks[i - 2].text if i >= 2 else "?"
+            # only stream-shaped receivers: a field of fstream-ish type or
+            # a field the model knows; plain containers also have read/write
+            # lookalikes, so require the receiver be a known stream field.
+            for f in model.field_index.get(recv, []):
+                if any(ti in STREAM_TYPES for ti in f.type_ids):
+                    return f"performs file I/O on {recv}"
+    return None
+
+
+def build_model(root: str, rel_roots: list[str],
+                exclude: tuple[str, ...] = ()) -> Model:
+    model = Model()
+    abs_roots = [os.path.join(root, r) for r in rel_roots]
+    for path in iter_source_files(abs_roots):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if rel in IMPL_ALLOWLIST:
+            continue
+        if any(rel == e or rel.startswith(e + "/") for e in exclude):
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        _Parser(rel, tokenize(text), model).parse()
+    for body in model.bodies:
+        qual = f"{body.cls}::{body.name}" if body.cls else body.name
+        if _body_acquires(body):
+            model.locking.setdefault(
+                body.name, f"{qual} constructs a MutexLock "
+                           f"({body.file}:{body.line})")
+        reason = _body_blocks(body, model)
+        if reason is not None:
+            model.blocking.setdefault(
+                body.name, f"{qual} {reason} ({body.file}:{body.line})")
+    return model
+
+
+# --------------------------------------------------------------------------
+# Pass 3: walk every body with the lock-scope tracker
+# --------------------------------------------------------------------------
+
+@dataclass
+class _HeldLock:
+    depth: int
+    expr: str      # full mutex expression text, e.g. "st->mutex"
+    last_id: str   # trailing identifier, e.g. "mutex"
+    line: int
+
+
+def _receiver(toks: list[Tok], i: int) -> str | None:
+    """Identifier receiver of the call whose callee id is at `i`
+    (x.f / x->f); None for bare or non-identifier receivers."""
+    if i >= 2 and toks[i - 1].text in (".", "->") and toks[i - 2].kind == "id":
+        return toks[i - 2].text
+    return None
+
+
+def _qualifier(toks: list[Tok], i: int) -> str | None:
+    if i >= 2 and toks[i - 1].text == "::" and toks[i - 2].kind == "id":
+        return toks[i - 2].text
+    return None
+
+
+def _guard_exempt(recv: str | None, held: list[_HeldLock], cls: ClassInfo | None,
+                  model: Model) -> bool:
+    """True when `recv` is a field GUARDED_BY one of the held mutexes —
+    the sanctioned 'operate on the data the lock guards' shape."""
+    if recv is None:
+        return False
+    held_ids = {h.last_id for h in held}
+    candidates: list[FieldInfo] = []
+    if cls is not None and recv in cls.fields:
+        candidates = [cls.fields[recv]]
+    else:
+        candidates = model.field_index.get(recv, [])
+    return any(f.guarded_by and f.guarded_by.split(".")[-1] in held_ids
+               for f in candidates)
+
+
+def _analyze_body(body: FuncBody, model: Model) -> list[Finding]:
+    findings: list[Finding] = []
+    toks = body.toks
+    cls = model.classes.get(body.cls) if body.cls else None
+    held: list[_HeldLock] = []
+    depth = 0
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                held = [h for h in held if h.depth <= depth]
+            i += 1
+            continue
+        if t.kind != "id":
+            i += 1
+            continue
+
+        # MutexLock declaration: `MutexLock name(expr);`
+        if t.text == "MutexLock":
+            j = i + 1
+            if j < n and toks[j].kind == "id":
+                j += 1
+            if j < n and toks[j].text == "(":
+                end = _match_paren(toks, j)
+                expr_toks = toks[j + 1 : end - 1]
+                expr = _expr_text(expr_toks)
+                last_id = next((tt.text for tt in reversed(expr_toks)
+                                if tt.kind == "id"), expr)
+                held.append(_HeldLock(depth=depth, expr=expr,
+                                      last_id=last_id, line=t.line))
+                i = end
+                continue
+            i += 1
+            continue
+
+        # call site: id '('
+        nxt = toks[i + 1].text if i + 1 < n else ""
+        if nxt != "(" or t.text in KEYWORDS or t.text in ANNOTATIONS:
+            i += 1
+            continue
+        if not held:
+            i += 1
+            continue
+        callee = t.text
+        recv = _receiver(toks, i)
+        qual = _qualifier(toks, i)
+        end = _match_paren(toks, i + 1)
+        args = toks[i + 2 : end - 1]
+
+        # CondVar::wait on a foreign mutex
+        recv_fields = ([cls.fields[recv]] if cls and recv in (cls.fields or {})
+                       else model.field_index.get(recv or "", []))
+        if callee == "wait" and any(f.is_condvar for f in recv_fields):
+            arg = _expr_text(args)
+            if all(arg != h.expr for h in held):
+                findings.append(Finding(
+                    body.file, t.line, "lock-foreign-wait",
+                    f"CondVar::wait({arg}) while holding "
+                    f"{', '.join(h.expr for h in held)} — waiting is only "
+                    "allowed on the held mutex itself"))
+            i = end
+            continue
+
+        # direct blocking primitives
+        if callee in SLEEP_NAMES:
+            findings.append(Finding(
+                body.file, t.line, "lock-blocking",
+                f"sleep ({callee}) while holding "
+                f"{', '.join(h.expr for h in held)}"))
+            i = end
+            continue
+        if callee in JOIN_METHODS and recv is not None:
+            findings.append(Finding(
+                body.file, t.line, "lock-blocking",
+                f"thread join on '{recv}' while holding "
+                f"{', '.join(h.expr for h in held)}"))
+            i = end
+            continue
+        if (callee in FILE_IO_METHODS and recv is not None
+                and any(any(ti in STREAM_TYPES for ti in f.type_ids)
+                        for f in recv_fields)
+                and not _guard_exempt(recv, held, cls, model)):
+            findings.append(Finding(
+                body.file, t.line, "lock-blocking",
+                f"file I/O ({recv}.{callee}) while holding "
+                f"{', '.join(h.expr for h in held)} and '{recv}' is not "
+                "guarded by the held mutex"))
+            i = end
+            continue
+        if qual == "std" and callee in STREAM_TYPES:
+            findings.append(Finding(
+                body.file, t.line, "lock-blocking",
+                f"std::{callee} constructed while holding "
+                f"{', '.join(h.expr for h in held)}"))
+            i = end
+            continue
+
+        # functions that sleep / do I/O in their own body (one level deep)
+        if callee in model.blocking and not _guard_exempt(recv, held, cls,
+                                                          model):
+            findings.append(Finding(
+                body.file, t.line, "lock-blocking",
+                f"call to blocking function '{callee}' while holding "
+                f"{', '.join(h.expr for h in held)}: "
+                f"{model.blocking[callee]}"))
+            i = end
+            continue
+
+        # REQUIRES-annotated callees: fine when the required mutex is held
+        # and the call targets this class; anything else is a foreign-lock
+        # call under our lock.
+        if callee in model.requires:
+            sigs = model.requires[callee]
+            held_ids = {h.last_id for h in held}
+            ok = any(
+                (cls is not None and s.cls == cls.name and recv is None
+                 and s.requires and s.requires.split(".")[-1] in held_ids)
+                for s in sigs)
+            if not ok and not _guard_exempt(recv, held, cls, model):
+                findings.append(Finding(
+                    body.file, t.line, "lock-held-call",
+                    f"call to REQUIRES-annotated '{callee}' while holding "
+                    f"{', '.join(h.expr for h in held)} — its mutex is not "
+                    "the held one"))
+            i = end
+            continue
+
+        # lock-acquiring callees
+        if callee in model.locking and not _guard_exempt(recv, held, cls,
+                                                         model):
+            findings.append(Finding(
+                body.file, t.line, "lock-held-call",
+                f"call to lock-acquiring '{callee}' while holding "
+                f"{', '.join(h.expr for h in held)} — leaf-lock rule "
+                f"(DESIGN.md): {model.locking[callee]}"))
+            i = end
+            continue
+        i += 1
+    return findings
+
+
+def check_unguarded_fields(model: Model) -> list[Finding]:
+    lock_owning = {name for name, cls in model.classes.items() if cls.mutexes}
+    findings: list[Finding] = []
+    for name in sorted(lock_owning):
+        cls = model.classes[name]
+        for f in cls.fields.values():
+            if (f.guarded_by or f.is_mutex or f.is_condvar or f.is_const
+                    or f.is_ref or f.is_static or f.is_atomic):
+                continue
+            if any(ti in lock_owning for ti in f.type_ids):
+                continue  # internally synchronized member
+            findings.append(Finding(
+                f.file, f.line, "lock-unguarded-field",
+                f"field '{f.name}' of Mutex-owning class '{cls.name}' has "
+                "no GUARDED_BY/PT_GUARDED_BY — annotate it, make it "
+                "const/atomic, or suppress with a justification"))
+    return findings
+
+
+def check_lock_graph(model: Model) -> list[Finding]:
+    findings: list[Finding] = []
+    for body in model.bodies:
+        findings.extend(_analyze_body(body, model))
+    findings.extend(check_unguarded_fields(model))
+    return findings

@@ -18,6 +18,11 @@ Checks (over src/ by default):
   self-contained every header compiles standalone (needs a C++ compiler;
                  enabled by --headers, on by default in CI's tidy job)
 
+The lexical checks run on the token stream from tools/analyze/cpptok.py
+(shared with the architecture analyzer), so comments, string literals, and
+raw strings can never trigger them — a `"delete"` inside a log message or
+an `R"(std::cout)"` payload is invisible here.
+
 Exit status 0 when clean, 1 when any check fails, 2 on usage errors.
 """
 
@@ -31,61 +36,23 @@ import sys
 import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools", "analyze"))
+
+from cpptok import iter_source_files, tokenize  # noqa: E402
 
 CONSOLE_IO_ALLOWLIST = {"src/util/log.cpp", "src/util/log.hpp"}
 # Whole trees where printing to stdout is the point (reports, demos).
 CONSOLE_IO_ALLOWED_DIRS = ("bench" + os.sep, "examples" + os.sep)
 RAW_SYNC_ALLOWLIST = {"src/util/annotated_mutex.hpp"}
 
-CONSOLE_IO_RE = re.compile(r"std::cout|std::cerr|\bfprintf\s*\(|(?<![\w:])printf\s*\(")
-RAW_SYNC_RE = re.compile(
-    r"std::(?:recursive_|shared_|timed_)?mutex\b"
-    r"|std::lock_guard\b|std::unique_lock\b|std::scoped_lock\b"
-    r"|std::condition_variable(?:_any)?\b"
-)
-NEW_RE = re.compile(r"\bnew\b")
-DELETE_RE = re.compile(r"\bdelete\b")
-DELETED_FN_RE = re.compile(r"=\s*delete\b")  # deleted special members are fine
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Replace comments and string/char literals with spaces, preserving
-    line structure so reported line numbers stay accurate."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n if j == -1 else j + 2
-            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
-            i = j
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def iter_source_files(roots, exts):
-    for root in roots:
-        for dirpath, _dirnames, filenames in os.walk(root):
-            for name in sorted(filenames):
-                if os.path.splitext(name)[1] in exts:
-                    yield os.path.join(dirpath, name)
+CONSOLE_STREAMS = {"cout", "cerr"}
+RAW_SYNC_TYPES = {
+    "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+    "recursive_timed_mutex", "shared_timed_mutex",
+    "lock_guard", "unique_lock", "scoped_lock",
+    "condition_variable", "condition_variable_any",
+}
+_PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once\s*$")
 
 
 class Linter:
@@ -96,53 +63,67 @@ class Linter:
         rel = os.path.relpath(path, REPO_ROOT)
         self.failures.append(f"{rel}:{line}: [{check}] {message}")
 
-    # -- textual checks ------------------------------------------------------
+    # -- token checks --------------------------------------------------------
 
-    def check_pragma_once(self, path: str, text: str):
+    def check_pragma_once(self, path: str, toks):
         if not path.endswith(".hpp"):
             return
-        for lineno, line in enumerate(strip_comments_and_strings(text).splitlines(), 1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            if stripped != "#pragma once":
-                self.fail(path, lineno, "pragma-once",
-                          "first directive of a header must be `#pragma once`")
+        first = next(iter(toks), None)
+        if first is None:
+            self.fail(path, 1, "pragma-once", "empty header")
             return
-        self.fail(path, 1, "pragma-once", "empty header")
+        if first.kind != "pp" or not _PRAGMA_ONCE_RE.match(first.text.strip()):
+            self.fail(path, first.line, "pragma-once",
+                      "first directive of a header must be `#pragma once`")
 
-    def check_console_io(self, path: str, code: str):
+    def check_console_io(self, path: str, toks):
         rel = os.path.relpath(path, REPO_ROOT)
         if rel in CONSOLE_IO_ALLOWLIST or rel.startswith(CONSOLE_IO_ALLOWED_DIRS):
             return
-        for lineno, line in enumerate(code.splitlines(), 1):
-            m = CONSOLE_IO_RE.search(line)
-            if m:
-                self.fail(path, lineno, "console-io",
-                          f"`{m.group(0).strip()}` outside util/log — route output "
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            if (t.text in CONSOLE_STREAMS and i >= 2
+                    and toks[i - 1].text == "::" and toks[i - 2].text == "std"):
+                self.fail(path, t.line, "console-io",
+                          f"`std::{t.text}` outside util/log — route output "
+                          "through Log::write/Log::write_stdout")
+            elif t.text == "fprintf" and nxt == "(":
+                self.fail(path, t.line, "console-io",
+                          "`fprintf` outside util/log — route output "
+                          "through Log::write/Log::write_stdout")
+            elif (t.text == "printf" and nxt == "("
+                  and (i == 0 or toks[i - 1].text != "::")):
+                self.fail(path, t.line, "console-io",
+                          "`printf` outside util/log — route output "
                           "through Log::write/Log::write_stdout")
 
-    def check_naked_new(self, path: str, code: str):
-        for lineno, line in enumerate(code.splitlines(), 1):
-            scrubbed = DELETED_FN_RE.sub("", line)
-            if NEW_RE.search(scrubbed):
-                self.fail(path, lineno, "naked-new",
+    def check_naked_new(self, path: str, toks):
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            if t.text == "new":
+                self.fail(path, t.line, "naked-new",
                           "`new` expression — use std::make_unique/make_shared "
                           "or a container")
-            if DELETE_RE.search(scrubbed):
-                self.fail(path, lineno, "naked-new",
+            elif t.text == "delete" and not (i and toks[i - 1].text == "="):
+                # `= delete`d special members are fine; anything else is an
+                # ownership hole.
+                self.fail(path, t.line, "naked-new",
                           "`delete` expression — ownership must be RAII")
 
-    def check_raw_sync(self, path: str, code: str):
+    def check_raw_sync(self, path: str, toks):
         if os.path.relpath(path, REPO_ROOT) in RAW_SYNC_ALLOWLIST:
             return
-        for lineno, line in enumerate(code.splitlines(), 1):
-            m = RAW_SYNC_RE.search(line)
-            if m:
-                self.fail(path, lineno, "raw-sync",
-                          f"`{m.group(0)}` — use vizcache::Mutex/MutexLock/CondVar "
-                          "from util/annotated_mutex.hpp so -Wthread-safety "
-                          "checks the acquisition")
+        for i, t in enumerate(toks):
+            if (t.kind == "id" and t.text in RAW_SYNC_TYPES and i >= 2
+                    and toks[i - 1].text == "::"
+                    and toks[i - 2].text == "std"):
+                self.fail(path, t.line, "raw-sync",
+                          f"`std::{t.text}` — use vizcache::Mutex/MutexLock/"
+                          "CondVar from util/annotated_mutex.hpp so "
+                          "-Wthread-safety checks the acquisition")
 
     # -- compile check -------------------------------------------------------
 
@@ -190,11 +171,11 @@ def main(argv) -> int:
     for path in iter_source_files(roots, {".hpp", ".cpp"}):
         with open(path, encoding="utf-8") as f:
             text = f.read()
-        code = strip_comments_and_strings(text)
-        linter.check_pragma_once(path, text)
-        linter.check_console_io(path, code)
-        linter.check_naked_new(path, code)
-        linter.check_raw_sync(path, code)
+        toks = tokenize(text)
+        linter.check_pragma_once(path, toks)
+        linter.check_console_io(path, toks)
+        linter.check_naked_new(path, toks)
+        linter.check_raw_sync(path, toks)
         if path.endswith(".hpp"):
             headers.append(path)
 
