@@ -67,11 +67,16 @@ AsyncPrefetcher::Payload AsyncPrefetcher::get_blocking(BlockId id, usize var,
   // milliseconds).
   Payload payload;
   try {
+    // analyze: allow(hot-path-alloc): the payload allocation IS the demand
+    // read's product, and the millisecond-scale device read it wraps
+    // dominates it by orders of magnitude.
     payload = std::make_shared<const std::vector<float>>(
         store_.read_block(id, var, timestep));
   } catch (...) {
     // Release our claim on failure, else the block is wedged un-loadable.
     if (claimed_here) coalescer_.complete(id);
+    // analyze: allow(hot-path-throw): rethrow after releasing the claim —
+    // a store failure must keep propagating to the caller.
     throw;
   }
   Payload resident;
@@ -81,6 +86,9 @@ AsyncPrefetcher::Payload AsyncPrefetcher::get_blocking(BlockId id, usize var,
     // incumbent. Never re-look-up after unlocking: a concurrent evict_except
     // could empty the cache between insert and return (a race the stress
     // suite caught as an unordered_map::at throw).
+    // analyze: allow(hot-path-alloc): one map node per newly resident
+    // block, bounded by evict_except — residency bookkeeping on the miss
+    // path, not per-access work.
     auto [it, inserted] = cache_.emplace(id, std::move(payload));
     resident = it->second;
   }

@@ -111,6 +111,10 @@ SessionStepResult BlockService::step(SessionId session, const Camera& camera) {
     for (BlockId id : predicted) {
       if (importance_->entropy(id) <= config_.sigma_bits) continue;
       if (shared_.resident_fast(id)) continue;
+      // analyze: allow(hot-path-alloc): per-step buffer, pre-reserved to the
+      // prediction size the line above; it must stay local — step() runs
+      // concurrently across sessions in this deliberately-unlocked region,
+      // so a hoisted member scratch would race.
       candidates.push_back(id);
     }
     std::sort(candidates.begin(), candidates.end(),

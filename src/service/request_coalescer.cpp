@@ -30,6 +30,9 @@ bool RequestCoalescer::wait(BlockId id) {
   if (in_flight_.count(id) == 0) return false;
   ++stats_.coalesced_waits;
   if (metrics_.coalesced_waits) metrics_.coalesced_waits->inc();
+  // analyze: allow(hot-path-block): coalescing IS the wait — the follower
+  // parks until the leader's in-flight read lands instead of issuing a
+  // duplicate device read (the paper's shared-read optimization).
   while (in_flight_.count(id) != 0) cv_.wait(mutex_);
   return true;
 }

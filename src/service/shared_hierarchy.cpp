@@ -37,6 +37,9 @@ u64 SharedHierarchy::protect_floor_locked(u64 epoch) const {
 
 void SharedHierarchy::pace() const {
   if (leader_pace_seconds_ <= 0.0) return;
+  // analyze: allow(hot-path-block): deliberate wall-clock throttle of
+  // coalescer leaders (ServiceConfig.leader_pace_seconds); off by default,
+  // and only ever reached by the session that already owns the slow read.
   std::this_thread::sleep_for(
       std::chrono::duration<double>(leader_pace_seconds_));
 }

@@ -135,6 +135,11 @@ class BlockCache {
   u64 occupancy_bytes_ = 0;
   CacheStats stats_;
   BoundMetrics metrics_;
+  /// Victim-selection scratch reused across insert() calls: cleared, never
+  /// shrunk, so the steady state selects victims without touching the
+  /// allocator (the cache is thread-compatible, see class comment, so one
+  /// scratch suffices).
+  std::vector<BlockId> victim_scratch_;
 };
 
 }  // namespace vizcache

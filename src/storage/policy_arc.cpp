@@ -92,6 +92,8 @@ class ArcPolicy final : public ReplacementPolicy {
   class GhostList {
    public:
     void push(BlockId id, usize cap) {
+      // analyze: allow(hot-path-alloc): one list node per ghost entry,
+      // bounded by cap — the O(1)-splice list design ARC requires.
       order_.push_front(id);
       index_[id] = order_.begin();
       while (order_.size() > cap) {
@@ -118,11 +120,15 @@ class ArcPolicy final : public ReplacementPolicy {
   };
 
   void push_front(std::list<BlockId>& lst, BlockId id, Where where) {
+    // analyze: allow(hot-path-alloc): one list node per resident block,
+    // bounded by the cache capacity — the O(1)-splice list design.
     lst.push_front(id);
     where_[id] = {where, lst.begin()};
   }
 
   void push_front_existing(Slot& slot, BlockId id) {
+    // analyze: allow(hot-path-alloc): one list node per T1->T2 promotion,
+    // bounded by the cache capacity — the O(1)-splice list design.
     t2_.push_front(id);
     slot.where = Where::kT2;
     slot.pos = t2_.begin();

@@ -15,6 +15,9 @@ class ListOrderedPolicy : public ReplacementPolicy {
  public:
   void on_insert(BlockId id) override {
     VIZ_CHECK(!index_.count(id), "duplicate insert into policy");
+    // analyze: allow(hot-path-alloc): one list node per resident block,
+    // bounded by the cache capacity — accesses reorder via splice, so
+    // insertion is the only allocating operation.
     order_.push_front(id);  // front = most recently inserted/used
     index_[id] = order_.begin();
   }

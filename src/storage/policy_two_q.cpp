@@ -78,6 +78,8 @@ class TwoQPolicy final : public ReplacementPolicy {
   };
 
   void push_front(std::list<BlockId>& lst, BlockId id, Where where) {
+    // analyze: allow(hot-path-alloc): one list node per resident block,
+    // bounded by the cache capacity — the O(1)-splice list design.
     lst.push_front(id);
     where_[id] = {where, lst.begin()};
   }
@@ -91,6 +93,8 @@ class TwoQPolicy final : public ReplacementPolicy {
   }
 
   void ghost_push(BlockId id) {
+    // analyze: allow(hot-path-alloc): one list node per ghost entry,
+    // bounded by kout_ — the O(1)-splice list design 2Q requires.
     ghost_order_.push_front(id);
     ghost_[id] = ghost_order_.begin();
     while (ghost_order_.size() > kout_) {

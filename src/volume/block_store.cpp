@@ -52,6 +52,9 @@ std::vector<float> SyntheticBlockStore::read_block(BlockId id, usize var,
     for (usize y = 0; y < e.y; ++y) {
       double ny = norm(o.y + y, vd.y);
       for (usize x = 0; x < e.x; ++x) {
+        // analyze: allow(hot-path-alloc): constructs the returned payload
+        // within the capacity reserved right-sized above — the synthetic
+        // store's stand-in for a device read.
         out.push_back(volume_.fn({norm(o.x + x, vd.x), ny, nz}, var, timestep));
       }
     }

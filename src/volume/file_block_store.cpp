@@ -51,13 +51,20 @@ std::vector<float> FileBlockStore::read_block(BlockId id, usize var,
                                               usize timestep) const {
   VIZ_REQUIRE(id < grid_.block_count(), "block id out of range");
   std::string path = block_path(id, var, timestep);
+  // analyze: allow(hot-path-io): the store IS the storage boundary — this is
+  // where the hot path is allowed to touch the device (the read the cache
+  // hierarchy exists to amortize).
   std::ifstream in(path, std::ios::binary);
+  // analyze: allow(hot-path-throw): a missing brick is unrecoverable here;
+  // AsyncPrefetcher catches and converts to note_failure/propagation.
   if (!in) throw IoError("cannot open brick: " + path);
   std::vector<float> payload(grid_.block_voxels(id));
   in.read(reinterpret_cast<char*>(payload.data()),
           static_cast<std::streamsize>(payload.size() * sizeof(float)));
   if (in.gcount() !=
       static_cast<std::streamsize>(payload.size() * sizeof(float))) {
+    // analyze: allow(hot-path-throw): a truncated brick is unrecoverable
+    // here; AsyncPrefetcher catches and converts to note_failure/propagation.
     throw IoError("short read on brick: " + path);
   }
   return payload;

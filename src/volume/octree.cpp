@@ -102,6 +102,9 @@ void BlockOctree::traverse(i64 node, const NodeFilter& node_ok,
   const Node& n = nodes_[static_cast<usize>(node)];
   if (!node_ok(n)) return;
   if (n.leaf) {
+    // analyze: allow(hot-path-alloc): the frustum collector grows once per
+    // visible leaf per frame (not per pixel); the caller owns sizing and
+    // amortization of the returned set.
     if (leaf_ok(n)) out.push_back(n.block);
     return;
   }

@@ -126,10 +126,17 @@ std::vector<float> PackedFileBlockStore::read_block(BlockId id, usize var,
 
   MutexLock lock(io_mutex_);
   file_.clear();
+  // analyze: allow(hot-path-io): the store IS the storage boundary — this is
+  // where the hot path is allowed to touch the device (the read the cache
+  // hierarchy exists to amortize).
   file_.seekg(static_cast<std::streamoff>(payload_start_ + begin));
+  // analyze: allow(hot-path-io): same boundary — the positioned bulk read.
   file_.read(reinterpret_cast<char*>(payload.data()),
              static_cast<std::streamsize>(bytes));
   if (file_.gcount() != static_cast<std::streamsize>(bytes)) {
+    // analyze: allow(hot-path-throw): a truncated packed read is
+    // unrecoverable here; AsyncPrefetcher catches and converts to
+    // note_failure/propagation.
     throw IoError("short read in packed store: " + path_);
   }
   return payload;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "util/error.hpp"
 #include "volume/generators.hpp"
 
@@ -12,12 +14,10 @@ class LodTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     Field3D f = rasterize(make_ball_volume({64, 64, 64}));
-    pyramid_ = new MipPyramid(MipPyramid::build(std::move(f), {8, 8, 8}, 4));
+    pyramid_ = std::make_unique<MipPyramid>(
+        MipPyramid::build(std::move(f), {8, 8, 8}, 4));
   }
-  static void TearDownTestSuite() {
-    delete pyramid_;
-    pyramid_ = nullptr;
-  }
+  static void TearDownTestSuite() { pyramid_.reset(); }
 
   static CameraPath path(usize n = 40) {
     RandomPathSpec rp;
@@ -27,10 +27,10 @@ class LodTest : public ::testing::Test {
     return make_random_path(rp);
   }
 
-  static MipPyramid* pyramid_;
+  static std::unique_ptr<MipPyramid> pyramid_;
 };
 
-MipPyramid* LodTest::pyramid_ = nullptr;
+std::unique_ptr<MipPyramid> LodTest::pyramid_;
 
 TEST(LodSelector, DistanceBands) {
   LodSelector sel{2.0, 3};

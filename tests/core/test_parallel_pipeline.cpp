@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/workbench.hpp"
 #include "util/error.hpp"
 
@@ -18,12 +20,9 @@ class ParallelTest : public ::testing::Test {
     spec.scale = 0.08;
     spec.target_blocks = 256;
     spec.omega = {8, 16, 3, 2.5, 3.5};
-    bench_ = new Workbench(spec);
+    bench_ = std::make_unique<Workbench>(spec);
   }
-  static void TearDownTestSuite() {
-    delete bench_;
-    bench_ = nullptr;
-  }
+  static void TearDownTestSuite() { bench_.reset(); }
 
   static ParallelPipeline make(usize workers, PartitionStrategy strategy,
                                bool app_aware) {
@@ -45,10 +44,10 @@ class ParallelTest : public ::testing::Test {
     return make_random_path(rp);
   }
 
-  static Workbench* bench_;
+  static std::unique_ptr<Workbench> bench_;
 };
 
-Workbench* ParallelTest::bench_ = nullptr;
+std::unique_ptr<Workbench> ParallelTest::bench_;
 
 TEST_F(ParallelTest, SingleWorkerMatchesSequentialShape) {
   ParallelPipeline p = make(1, PartitionStrategy::kRoundRobin, false);

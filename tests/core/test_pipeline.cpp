@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/workbench.hpp"
 #include "util/error.hpp"
 
@@ -18,12 +20,9 @@ class PipelineTest : public ::testing::Test {
     spec.scale = 0.08;  // ~82^3
     spec.target_blocks = 256;
     spec.omega = {8, 16, 3, 2.5, 3.5};
-    bench_ = new Workbench(spec);
+    bench_ = std::make_unique<Workbench>(spec);
   }
-  static void TearDownTestSuite() {
-    delete bench_;
-    bench_ = nullptr;
-  }
+  static void TearDownTestSuite() { bench_.reset(); }
 
   static CameraPath path(usize n = 60, double deg = 5.0) {
     RandomPathSpec rp;
@@ -33,10 +32,10 @@ class PipelineTest : public ::testing::Test {
     return make_random_path(rp);
   }
 
-  static Workbench* bench_;
+  static std::unique_ptr<Workbench> bench_;
 };
 
-Workbench* PipelineTest::bench_ = nullptr;
+std::unique_ptr<Workbench> PipelineTest::bench_;
 
 TEST_F(PipelineTest, StepResultsConsistent) {
   RunResult r = bench_->run_baseline(PolicyKind::kLru, path());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "util/error.hpp"
 #include "volume/datasets.hpp"
 
@@ -15,13 +17,14 @@ class TemporalTest : public ::testing::Test {
   static constexpr usize kTimesteps = 3;
 
   static void SetUpTestSuite() {
-    volume_ = new SyntheticVolume(make_climate_volume({32, 28, 12}, 4,
-                                                      kTimesteps));
-    grid_ = new BlockGrid(
+    volume_ = std::make_unique<SyntheticVolume>(
+        make_climate_volume({32, 28, 12}, 4, kTimesteps));
+    grid_ = std::make_unique<BlockGrid>(
         BlockGrid::with_target_block_count(volume_->desc.dims, 128));
-    store_ = new SyntheticBlockStore(*volume_, grid_->block_dims());
+    store_ = std::make_unique<SyntheticBlockStore>(*volume_,
+                                                   grid_->block_dims());
 
-    importance_ = new std::vector<ImportanceTable>();
+    importance_ = std::make_unique<std::vector<ImportanceTable>>();
     for (usize t = 0; t < kTimesteps; ++t) {
       importance_->push_back(ImportanceTable::build(*store_, 64, 1, t));
     }
@@ -31,15 +34,16 @@ class TemporalTest : public ::testing::Test {
     ts.vicinal_samples = 6;
     ts.view_angle_deg = 15.0;
     ts.radius_model = {15.0, 0.25, 1e-3};
-    table_ = new VisibilityTable(VisibilityTable::build(*grid_, ts));
+    table_ = std::make_unique<VisibilityTable>(
+        VisibilityTable::build(*grid_, ts));
   }
 
   static void TearDownTestSuite() {
-    delete table_;
-    delete importance_;
-    delete store_;
-    delete grid_;
-    delete volume_;
+    table_.reset();
+    importance_.reset();
+    store_.reset();
+    grid_.reset();
+    volume_.reset();
   }
 
   static TemporalPipeline make_pipeline(TemporalConfig cfg,
@@ -47,7 +51,7 @@ class TemporalTest : public ::testing::Test {
     return TemporalPipeline(
         *grid_, make_temporal_hierarchy(*grid_, playback.timesteps, 0.5,
                                         cfg.policy),
-        cfg, playback, table_, importance_);
+        cfg, playback, table_.get(), importance_.get());
   }
 
   static CameraPath path(usize n = 30) {
@@ -58,18 +62,18 @@ class TemporalTest : public ::testing::Test {
     return make_random_path(rp);
   }
 
-  static SyntheticVolume* volume_;
-  static BlockGrid* grid_;
-  static SyntheticBlockStore* store_;
-  static std::vector<ImportanceTable>* importance_;
-  static VisibilityTable* table_;
+  static std::unique_ptr<SyntheticVolume> volume_;
+  static std::unique_ptr<BlockGrid> grid_;
+  static std::unique_ptr<SyntheticBlockStore> store_;
+  static std::unique_ptr<std::vector<ImportanceTable>> importance_;
+  static std::unique_ptr<VisibilityTable> table_;
 };
 
-SyntheticVolume* TemporalTest::volume_ = nullptr;
-BlockGrid* TemporalTest::grid_ = nullptr;
-SyntheticBlockStore* TemporalTest::store_ = nullptr;
-std::vector<ImportanceTable>* TemporalTest::importance_ = nullptr;
-VisibilityTable* TemporalTest::table_ = nullptr;
+std::unique_ptr<SyntheticVolume> TemporalTest::volume_;
+std::unique_ptr<BlockGrid> TemporalTest::grid_;
+std::unique_ptr<SyntheticBlockStore> TemporalTest::store_;
+std::unique_ptr<std::vector<ImportanceTable>> TemporalTest::importance_;
+std::unique_ptr<VisibilityTable> TemporalTest::table_;
 
 TEST(TimeBlockKey, PackUnpackRoundTrip) {
   const usize nblocks = 100;
@@ -195,7 +199,7 @@ TEST_F(TemporalTest, InvalidConfigsThrow) {
   EXPECT_THROW(TemporalPipeline(*grid_,
                                 make_temporal_hierarchy(*grid_, kTimesteps,
                                                         0.5, cfg.policy),
-                                cfg, pb, table_, nullptr),
+                                cfg, pb, table_.get(), nullptr),
                InvalidArgument);
   // Wrong importance table count.
   std::vector<ImportanceTable> wrong;
@@ -203,7 +207,7 @@ TEST_F(TemporalTest, InvalidConfigsThrow) {
   EXPECT_THROW(TemporalPipeline(*grid_,
                                 make_temporal_hierarchy(*grid_, kTimesteps,
                                                         0.5, cfg.policy),
-                                cfg, pb, table_, &wrong),
+                                cfg, pb, table_.get(), &wrong),
                InvalidArgument);
   // Zero timesteps.
   TemporalConfig plain;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "core/workbench.hpp"
 
@@ -18,17 +19,14 @@ class PaperShapes : public ::testing::Test {
     spec.scale = 0.1;
     spec.target_blocks = 512;
     spec.omega = {12, 24, 3, 2.5, 3.5};
-    bench_ = new Workbench(spec);
+    bench_ = std::make_unique<Workbench>(spec);
   }
-  static void TearDownTestSuite() {
-    delete bench_;
-    bench_ = nullptr;
-  }
+  static void TearDownTestSuite() { bench_.reset(); }
 
-  static Workbench* bench_;
+  static std::unique_ptr<Workbench> bench_;
 };
 
-Workbench* PaperShapes::bench_ = nullptr;
+std::unique_ptr<Workbench> PaperShapes::bench_;
 
 TEST_F(PaperShapes, OptBeatsBaselinesOnSlowSphericalPath) {
   // Fig. 12a at small degree steps: OPT well below FIFO and LRU.

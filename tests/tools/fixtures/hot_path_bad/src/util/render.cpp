@@ -1,0 +1,21 @@
+#include "util/render.hpp"
+
+#include <iostream>
+#include <vector>
+
+namespace fx {
+
+int helper_alloc(int n) {
+  std::vector<int> v;
+  v.push_back(n);  // seeded: transitive hot-path-alloc (line 10)
+  return n + static_cast<int>(v.size());
+}
+
+void render_row(int n) {
+  std::cout << n;                           // seeded: hot-path-io (line 15)
+  if (n < 0) throw n;                       // seeded: hot-path-throw (16)
+  std::this_thread::sleep_for(frame_dt());  // seeded: hot-path-block (17)
+  helper_alloc(n);
+}
+
+}  // namespace fx

@@ -1,0 +1,25 @@
+#include "util/render.hpp"
+
+#include <vector>
+
+namespace fx {
+
+// Clean twin of hot_path_bad: arithmetic only on the hot path, plus one
+// justified allocation proving the suppression mechanism covers hot-path
+// checks too.
+int helper_sum(int n) {
+  std::vector<int> scratch;
+  scratch.reserve(static_cast<unsigned>(n > 0 ? n : 0));
+  for (int i = 0; i < n; ++i) {
+    // analyze: allow(hot-path-alloc): fixture — appends within the
+    // capacity reserved right above.
+    scratch.push_back(i);
+  }
+  int acc = 0;
+  for (int s : scratch) acc += s;
+  return acc;
+}
+
+void render_row(int n) { helper_sum(n); }
+
+}  // namespace fx

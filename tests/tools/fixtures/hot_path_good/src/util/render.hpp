@@ -1,0 +1,8 @@
+#pragma once
+
+namespace fx {
+
+int helper_sum(int n);
+void render_row(int n);
+
+}  // namespace fx

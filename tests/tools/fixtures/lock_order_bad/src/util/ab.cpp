@@ -1,0 +1,22 @@
+#include "util/ab.hpp"
+
+namespace fx {
+
+void Alpha::touch() { MutexLock lock(mutex_); }
+void Beta::touch() { MutexLock lock(mutex_); }
+
+void Alpha::poke(Beta& peer) {
+  MutexLock lock(mutex_);
+  // analyze: allow(lock-held-call): fixture — the lock-order cycle is the
+  // subject under test; the nested acquisition itself is deliberate.
+  peer.touch();  // seeded: edge Alpha::mutex_ -> Beta::mutex_ (line 12)
+}
+
+void Beta::poke(Alpha& peer) {
+  MutexLock lock(mutex_);
+  // analyze: allow(lock-held-call): fixture — the lock-order cycle is the
+  // subject under test; the nested acquisition itself is deliberate.
+  peer.touch();  // seeded: edge Beta::mutex_ -> Alpha::mutex_ (line 19)
+}
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+#pragma once
+#include "util/annotated_mutex.hpp"
+
+namespace fx {
+
+class Alpha;
+
+class Beta {
+ public:
+  void poke(Alpha& peer) EXCLUDES(mutex_);
+  void touch() EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+};
+
+class Alpha {
+ public:
+  void poke(Beta& peer) EXCLUDES(mutex_);
+  void touch() EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+};
+
+}  // namespace fx

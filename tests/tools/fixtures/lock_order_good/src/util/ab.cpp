@@ -1,0 +1,21 @@
+#include "util/ab.hpp"
+
+namespace fx {
+
+void Beta::touch() { MutexLock lock(mutex_); }
+
+// Clean twin of lock_order_bad: every path acquires in the single order
+// Alpha::mutex_ -> Beta::mutex_, so the order graph has an edge but no
+// cycle, and the one-way edge alone must not fire lock-order-cycle.
+void Alpha::poke(Beta& peer) {
+  MutexLock lock(mutex_);
+  // analyze: allow(lock-held-call): fixture — deliberate one-way nesting
+  // proving a cycle-free order edge stays silent.
+  peer.touch();
+}
+
+void Beta::poke() {
+  MutexLock lock(mutex_);
+}
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+#pragma once
+#include "util/annotated_mutex.hpp"
+
+namespace fx {
+
+class Beta {
+ public:
+  void poke() EXCLUDES(mutex_);
+  void touch() EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+};
+
+class Alpha {
+ public:
+  void poke(Beta& peer) EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+};
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+#include "util/worker.hpp"
+
+namespace fx {
+
+void Worker::locker() {
+  MutexLock lock(other_mutex_);
+}
+
+void Worker::helper() { locker(); }
+
+void Worker::outer() {
+  MutexLock lock(mutex_);
+  helper();  // seeded: transitive lock-held-call (line 13)
+}
+
+void Worker::napper() { std::this_thread::sleep_for(nap_quantum()); }
+
+void Worker::pause_outer() {
+  MutexLock lock(mutex_);
+  napper();  // seeded: transitive lock-blocking (line 20)
+}
+
+}  // namespace fx

@@ -1,0 +1,3 @@
+#pragma once
+// Fixture stub: the analyzer recognises Mutex/MutexLock/CondVar and the
+// capability macros by name, and skips this file (IMPL_ALLOWLIST).

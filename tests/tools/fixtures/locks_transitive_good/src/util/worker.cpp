@@ -1,0 +1,29 @@
+#include "util/worker.hpp"
+
+namespace fx {
+
+void Worker::locker() {
+  MutexLock lock(other_mutex_);
+}
+
+void Worker::helper() { locker(); }
+
+// Clean twin of locks_transitive_bad: the indirect acquisition and the
+// indirect sleep both happen after the MutexLock scope has closed.
+void Worker::outer() {
+  {
+    MutexLock lock(mutex_);
+  }
+  helper();
+}
+
+void Worker::napper() { std::this_thread::sleep_for(nap_quantum()); }
+
+void Worker::pause_outer() {
+  {
+    MutexLock lock(mutex_);
+  }
+  napper();
+}
+
+}  // namespace fx

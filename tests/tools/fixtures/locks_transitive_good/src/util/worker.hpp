@@ -1,0 +1,20 @@
+#pragma once
+#include "util/annotated_mutex.hpp"
+
+namespace fx {
+
+class Worker {
+ public:
+  void outer() EXCLUDES(mutex_);
+  void pause_outer() EXCLUDES(mutex_);
+
+ private:
+  void helper();
+  void locker() EXCLUDES(other_mutex_);
+  void napper();
+
+  mutable Mutex mutex_;
+  mutable Mutex other_mutex_;
+};
+
+}  // namespace fx

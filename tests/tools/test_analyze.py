@@ -22,6 +22,11 @@ REPO = os.path.dirname(os.path.dirname(HERE))
 FIXTURES = os.path.join(HERE, "fixtures")
 ANALYZE = [sys.executable, os.path.join(REPO, "tools", "analyze", "analyze.py")]
 LINT = [sys.executable, os.path.join(REPO, "tools", "lint.py")]
+# Fixture trees pin their own hot-path entries (or none): the built-in
+# registry names real vizcache functions that no fixture defines.
+EMPTY_REGISTRY = os.path.join(FIXTURES, "empty_hot_registry.json")
+
+sys.path.insert(0, os.path.join(REPO, "tools", "analyze"))
 
 _FINDING_RE = re.compile(r"^(.*?):(\d+): \[([a-z-]+)\]")
 
@@ -30,8 +35,13 @@ def run_analyze(*args):
     return subprocess.run(ANALYZE + list(args), capture_output=True, text=True)
 
 
-def analyze_fixture(name, *extra):
-    return run_analyze("src", "--root", os.path.join(FIXTURES, name), *extra)
+def analyze_fixture(name, *extra, registry=EMPTY_REGISTRY):
+    return run_analyze("src", "--root", os.path.join(FIXTURES, name),
+                       "--hot-registry", registry, *extra)
+
+
+def fixture_registry(name, filename="hot_registry.json"):
+    return os.path.join(FIXTURES, name, filename)
 
 
 def findings_of(proc):
@@ -81,6 +91,9 @@ class LockGraphTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1, proc.stderr)
         self.assertEqual(findings_of(proc), {
             ("src/util/worker.cpp", 12, "lock-held-call"),
+            # re-acquiring mutex_ via submit() is also a self-loop in the
+            # lock-order graph: a self-deadlock for a non-recursive mutex
+            ("src/util/worker.cpp", 12, "lock-order-cycle"),
             ("src/util/worker.cpp", 17, "lock-blocking"),
             ("src/util/worker.cpp", 22, "lock-foreign-wait"),
             ("src/util/worker.hpp", 18, "lock-unguarded-field"),
@@ -93,6 +106,173 @@ class LockGraphTest(unittest.TestCase):
         proc = analyze_fixture("locks_good")
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
         self.assertEqual(findings_of(proc), set())
+
+
+class TransitiveLockTest(unittest.TestCase):
+    def test_indirect_violations_fire_with_chain(self):
+        proc = analyze_fixture("locks_transitive_bad")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertEqual(findings_of(proc), {
+            ("src/util/worker.cpp", 13, "lock-held-call"),
+            ("src/util/worker.cpp", 20, "lock-blocking"),
+        })
+        # The full route to the indirect acquisition is printed.
+        self.assertIn("Worker::outer -> Worker::helper -> Worker::locker",
+                      proc.stdout)
+
+    def test_clean_twin_passes(self):
+        # Same helpers, but called after the MutexLock scope closes.
+        proc = analyze_fixture("locks_transitive_good")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(findings_of(proc), set())
+
+
+class LockOrderTest(unittest.TestCase):
+    def test_inverted_order_is_a_cycle_with_witnesses(self):
+        # lock-held-call at both nesting sites is suppressed in the fixture,
+        # proving order edges are recorded even for suppressed sites.
+        proc = analyze_fixture("lock_order_bad")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertEqual(findings_of(proc), {
+            ("src/util/ab.cpp", 12, "lock-order-cycle"),
+        })
+        self.assertIn("Alpha::mutex_ -> Beta::mutex_ -> Alpha::mutex_",
+                      proc.stdout)
+        self.assertIn("src/util/ab.cpp:19", proc.stdout)  # second witness
+
+    def test_one_way_nesting_stays_silent(self):
+        proc = analyze_fixture("lock_order_good")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(findings_of(proc), set())
+
+    def test_lock_order_artifacts(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dot = os.path.join(tmp, "lo.dot")
+            js = os.path.join(tmp, "lo.json")
+            proc = analyze_fixture("lock_order_bad", "--lock-order-dot", dot,
+                                   "--lock-order-json", js)
+            self.assertEqual(proc.returncode, 1)
+            with open(dot, encoding="utf-8") as f:
+                dot_text = f.read()
+            self.assertIn('"Alpha::mutex_" -> "Beta::mutex_"', dot_text)
+            with open(js, encoding="utf-8") as f:
+                payload = json.load(f)
+            edges = {(e["held"], e["acquired"]) for e in payload["edges"]}
+            self.assertEqual(edges, {("Alpha::mutex_", "Beta::mutex_"),
+                                     ("Beta::mutex_", "Alpha::mutex_")})
+            self.assertEqual(len(payload["cycles"]), 1)
+
+
+class HotPathTest(unittest.TestCase):
+    def test_seeded_hot_path_violations(self):
+        proc = analyze_fixture("hot_path_bad",
+                               registry=fixture_registry("hot_path_bad"))
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertEqual(findings_of(proc), {
+            ("src/util/render.cpp", 10, "hot-path-alloc"),
+            ("src/util/render.cpp", 15, "hot-path-io"),
+            ("src/util/render.cpp", 16, "hot-path-throw"),
+            ("src/util/render.cpp", 17, "hot-path-block"),
+        })
+        # The transitive allocation reports the route from the entry point.
+        self.assertIn("render_row -> helper_alloc", proc.stdout)
+
+    def test_clean_twin_with_justified_alloc_passes(self):
+        proc = analyze_fixture("hot_path_good",
+                               registry=fixture_registry("hot_path_good"))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(findings_of(proc), set())
+
+    def test_registry_rot_is_a_finding(self):
+        proc = analyze_fixture(
+            "hot_path_good",
+            registry=fixture_registry("hot_path_good",
+                                      "missing_registry.json"))
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        findings = findings_of(proc)
+        self.assertIn(("missing_registry.json", 1, "hot-path-missing-entry"),
+                      findings)
+
+    def test_malformed_registry_is_a_tool_error(self):
+        proc = analyze_fixture(
+            "hot_path_good",
+            registry=fixture_registry("hot_path_good",
+                                      "malformed_registry.json"))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("entries", proc.stderr)
+
+
+class JsonFormatTest(unittest.TestCase):
+    def test_schema_and_chain(self):
+        proc = analyze_fixture("locks_transitive_bad", "--format", "json")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        payload = json.loads(proc.stdout)
+        self.assertEqual(payload["version"], 1)
+        self.assertEqual(payload["summary"]["active"], 2)
+        by_check = {f["check"]: f for f in payload["findings"]}
+        held = by_check["lock-held-call"]
+        self.assertEqual(held["file"], "src/util/worker.cpp")
+        self.assertEqual(held["line"], 13)
+        self.assertFalse(held["suppressed"])
+        self.assertEqual(held["chain"], ["Worker::outer", "Worker::helper",
+                                         "Worker::locker"])
+
+    def test_suppressed_findings_are_reported_as_such(self):
+        proc = analyze_fixture("lock_order_good", "--format", "json")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        payload = json.loads(proc.stdout)
+        self.assertEqual(payload["summary"]["active"], 0)
+        self.assertEqual(payload["summary"]["suppressed"], 1)
+        sup = [f for f in payload["findings"] if f["suppressed"]]
+        self.assertEqual(len(sup), 1)
+        self.assertEqual(sup[0]["check"], "lock-held-call")
+        used = [s for s in payload["suppressions"] if s["used"]]
+        self.assertEqual(len(used), 1)
+
+
+class CallGraphArtifactTest(unittest.TestCase):
+    def test_call_graph_dot_and_json(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dot = os.path.join(tmp, "cg.dot")
+            js = os.path.join(tmp, "cg.json")
+            proc = analyze_fixture("locks_transitive_bad", "--call-dot", dot,
+                                   "--call-json", js)
+            self.assertEqual(proc.returncode, 1)
+            with open(dot, encoding="utf-8") as f:
+                dot_text = f.read()
+            self.assertIn('"Worker::outer" -> "Worker::helper"', dot_text)
+            with open(js, encoding="utf-8") as f:
+                payload = json.load(f)
+            nodes = payload["nodes"]
+            self.assertIn("Worker::other_mutex_",
+                          nodes["Worker::outer"]["locks"])
+            self.assertTrue(nodes["Worker::napper"]["blocks"])
+            edges = {(e["from"], e["to"]) for e in payload["edges"]}
+            self.assertIn(("Worker::helper", "Worker::locker"), edges)
+
+
+class SourceCacheTest(unittest.TestCase):
+    def test_each_file_read_and_tokenized_once(self):
+        from cpptok import SourceCache
+        cache = SourceCache()
+        path = os.path.join(FIXTURES, "locks_bad", "src", "util",
+                            "worker.cpp")
+        text = cache.text(path)
+        toks = cache.tokens(path)
+        lines = cache.lines(path)
+        for _ in range(3):
+            self.assertIs(cache.text(path), text)
+            self.assertIs(cache.tokens(path), toks)
+            self.assertIs(cache.lines(path), lines)
+        self.assertEqual(cache.reads, 1)
+
+    def test_driver_reads_each_file_once(self):
+        # Four passes share one cache: the OK line counts physical reads,
+        # which must equal the file count, not a multiple of it.
+        proc = analyze_fixture("locks_good")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("(3 files, 0 suppression(s), 3 file reads)",
+                      proc.stderr)
 
 
 class SuppressionTest(unittest.TestCase):

@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -148,10 +147,10 @@ TEST(ParallelFor, FreeFunctionZeroGrainThrowsEvenSerial) {
 
 TEST(ParallelFor, ChunksRespectGrainBound) {
   ThreadPool pool(4);
-  std::mutex m;
+  Mutex m;
   std::vector<usize> sizes;
   pool.parallel_for(0, 103, 10, [&](usize lo, usize hi) {
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     sizes.push_back(hi - lo);
   });
   usize total = 0;

@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Architecture analyzer driver: include-graph layering + lock-graph checks.
+"""Architecture analyzer driver: include layering, interprocedural lock
+checks, lock-order deadlock detection, and hot-path discipline.
 
 Usage:
-    tools/analyze/analyze.py [paths...] [--root DIR]
-                             [--dot FILE] [--json FILE] [--baseline FILE]
+    tools/analyze/analyze.py [paths...] [--root DIR] [--format text|json]
+                             [--dot FILE] [--json FILE]
+                             [--call-dot FILE] [--call-json FILE]
+                             [--lock-order-dot FILE] [--lock-order-json FILE]
+                             [--hot-registry FILE] [--baseline FILE]
 
 `paths` are tree roots relative to --root (default: src bench examples
-tests). Findings print as `path:line: [check] message` — the same shape as
-tools/lint.py — and the exit code distinguishes outcomes so CI can react
-correctly:
+tests — the one list both this tool and tools/lint.py scan, so a new
+top-level tree cannot silently escape either pass). Findings print as
+`path:line: [check] message` — the same shape as tools/lint.py — and the
+exit code distinguishes outcomes so CI can react correctly:
 
     0   clean (or everything suppressed with a justification)
     1   unsuppressed findings
@@ -36,9 +41,11 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import call_graph as cgm  # noqa: E402
+import hot_path as hp  # noqa: E402
 import include_graph as ig  # noqa: E402
 import lock_graph as lg  # noqa: E402
-from cpptok import iter_source_files  # noqa: E402
+from cpptok import SourceCache, iter_source_files  # noqa: E402
 from include_graph import Finding  # noqa: E402
 
 DEFAULT_ROOTS = ["src", "bench", "examples", "tests"]
@@ -54,18 +61,19 @@ class ToolError(Exception):
 
 
 def collect_suppressions(root: str, rel_roots: list[str],
-                         exclude: tuple[str, ...]):
+                         exclude: tuple[str, ...],
+                         cache: SourceCache | None = None):
     """Scan raw source lines for allow-comments. Returns (suppressions,
     findings) where findings are the malformed ones (bad-suppression)."""
     suppressions: list[dict] = []
     findings: list[Finding] = []
+    cache = cache or SourceCache()
     abs_roots = [os.path.join(root, r) for r in rel_roots]
     for path in iter_source_files(abs_roots):
         rel = os.path.relpath(path, root).replace(os.sep, "/")
         if any(rel == e or rel.startswith(e + "/") for e in exclude):
             continue
-        with open(path, encoding="utf-8") as f:
-            lines = f.read().splitlines()
+        lines = cache.lines(path)
         for lineno, text in enumerate(lines, 1):
             m = _ALLOW_RE.search(text)
             if not m:
@@ -94,23 +102,24 @@ def collect_suppressions(root: str, rel_roots: list[str],
     return suppressions, findings
 
 
-def apply_suppressions(findings: list[Finding],
-                       suppressions: list[dict]) -> list[Finding]:
+def apply_suppressions(findings: list[Finding], suppressions: list[dict]):
     """A suppression covers same-check findings on its own line or the line
-    directly below (comment-above-the-site is the usual style)."""
+    directly below (comment-above-the-site is the usual style). Returns
+    (kept, suppressed) — JSON output reports both, with state."""
     index: dict[tuple, list[dict]] = {}
     for s in suppressions:
         for covered in s["covers"]:
             index.setdefault((s["path"], covered, s["check"]), []).append(s)
-    kept = []
+    kept, suppressed = [], []
     for f in findings:
         matches = index.get((f.path, f.line, f.check))
         if matches:
             for s in matches:
                 s["used"] = True
+            suppressed.append(f)
         else:
             kept.append(f)
-    return kept
+    return kept, suppressed
 
 
 def stale_suppressions(suppressions: list[dict]) -> list[Finding]:
@@ -134,19 +143,54 @@ def load_baseline(path: str | None) -> set[tuple]:
     return {(e["path"], e.get("line"), e["check"]) for e in entries}
 
 
+def findings_json(findings: list[Finding], suppressed: list[Finding],
+                  suppressions: list[dict], nfiles: int) -> str:
+    """Stable machine-readable findings schema (--format json)."""
+    def encode(f: Finding, state: str) -> dict:
+        return {
+            "check": f.check, "file": f.path, "line": f.line,
+            "message": f.message, "chain": list(f.chain),
+            "suppressed": state == "suppressed",
+        }
+    payload = {
+        "version": 1,
+        "findings": ([encode(f, "active") for f in findings]
+                     + [encode(f, "suppressed") for f in suppressed]),
+        "suppressions": [
+            {"file": s["path"], "line": s["line"], "check": s["check"],
+             "justification": s["justification"], "used": s["used"]}
+            for s in suppressions
+        ],
+        "summary": {"files": nfiles, "active": len(findings),
+                    "suppressed": len(suppressed)},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def run(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(
         prog="analyze.py",
-        description="vizcache architecture analyzer "
-                    "(include layering + lock graph)")
+        description="vizcache architecture analyzer (include layering + "
+                    "interprocedural lock graph + lock order + hot paths)")
     ap.add_argument("paths", nargs="*", default=None,
                     help="tree roots relative to --root "
                          f"(default: {' '.join(DEFAULT_ROOTS)})")
     ap.add_argument("--root", default=".",
                     help="repository root (default: cwd)")
+    ap.add_argument("--format", choices=("text", "json"), default="text",
+                    help="findings output format (default: text)")
     ap.add_argument("--dot", help="write the include graph as DOT")
     ap.add_argument("--json", dest="json_out",
-                    help="write graph + findings as JSON")
+                    help="write include graph + findings as JSON")
+    ap.add_argument("--call-dot", help="write the call graph as DOT")
+    ap.add_argument("--call-json", help="write the call graph as JSON")
+    ap.add_argument("--lock-order-dot",
+                    help="write the lock-order graph as DOT")
+    ap.add_argument("--lock-order-json",
+                    help="write lock-order edges + cycles as JSON")
+    ap.add_argument("--hot-registry",
+                    help="hot-path registry JSON (default: built-in "
+                         "registry in hot_path.py)")
     ap.add_argument("--baseline",
                     help="JSON list of known findings to ignore "
                          "(kept empty in this repo)")
@@ -158,15 +202,32 @@ def run(argv: list[str]) -> int:
         if not os.path.isdir(os.path.join(root, r)):
             raise ToolError(f"no such tree: {os.path.join(root, r)}")
 
-    graph = ig.build_graph(root, rel_roots, exclude=DEFAULT_EXCLUDE)
+    cache = SourceCache()
+    graph = ig.build_graph(root, rel_roots, exclude=DEFAULT_EXCLUDE,
+                           cache=cache)
     findings = ig.check_layering(graph)
     findings += ig.find_cycles(graph)
-    model = lg.build_model(root, rel_roots, exclude=DEFAULT_EXCLUDE)
-    findings += lg.check_lock_graph(model)
+
+    model = lg.build_model(root, rel_roots, exclude=DEFAULT_EXCLUDE,
+                           cache=cache)
+    cg = cgm.build_call_graph(model)
+    order = cgm.LockOrderGraph()
+    findings += lg.check_lock_graph(model, cg, order)
+    lock_order_findings = cgm.check_lock_order(order)
+    findings += lock_order_findings
+
+    try:
+        registry = hp.load_registry(args.hot_registry)
+    except (OSError, ValueError) as e:
+        raise ToolError(f"hot-path registry: {e}") from e
+    anchor = (os.path.relpath(os.path.abspath(args.hot_registry),
+                              root).replace(os.sep, "/")
+              if args.hot_registry else "tools/analyze/hot_path.py")
+    findings += hp.check_hot_paths(model, cg, registry, anchor)
 
     suppressions, supp_findings = collect_suppressions(
-        root, rel_roots, DEFAULT_EXCLUDE)
-    findings = apply_suppressions(findings, suppressions)
+        root, rel_roots, DEFAULT_EXCLUDE, cache=cache)
+    findings, suppressed = apply_suppressions(findings, suppressions)
     findings += supp_findings
     findings += stale_suppressions(suppressions)
 
@@ -177,22 +238,37 @@ def run(argv: list[str]) -> int:
         and (f.path, None, f.check) not in baseline
     ]
     findings.sort(key=lambda f: (f.path, f.line, f.check))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.check))
 
     if args.dot:
         ig.write_dot(graph, args.dot)
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as f:
             f.write(ig.graph_json(graph, findings))
+    if args.call_dot:
+        cgm.write_dot(cg, args.call_dot)
+    if args.call_json:
+        with open(args.call_json, "w", encoding="utf-8") as f:
+            f.write(cgm.call_json(cg))
+    if args.lock_order_dot:
+        cgm.write_lock_order_dot(order, args.lock_order_dot)
+    if args.lock_order_json:
+        with open(args.lock_order_json, "w", encoding="utf-8") as f:
+            f.write(cgm.lock_order_json(order, lock_order_findings))
 
-    for f in findings:
-        print(f"{f.path}:{f.line}: [{f.check}] {f.message}")
     nfiles = len(graph)
+    if args.format == "json":
+        sys.stdout.write(findings_json(findings, suppressed, suppressions,
+                                       nfiles))
+    else:
+        for f in findings:
+            print(f"{f.path}:{f.line}: [{f.check}] {f.message}")
     if findings:
         print(f"analyze: {len(findings)} finding(s) across {nfiles} files",
               file=sys.stderr)
         return 1
-    print(f"analyze: OK ({nfiles} files, "
-          f"{len(suppressions)} suppression(s))", file=sys.stderr)
+    print(f"analyze: OK ({nfiles} files, {len(suppressions)} "
+          f"suppression(s), {cache.reads} file reads)", file=sys.stderr)
     return 0
 
 

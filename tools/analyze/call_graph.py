@@ -1,0 +1,593 @@
+"""Project-wide function call graph + transitive lock/blocking closure.
+
+Built on the lock_graph Model (classes, fields, bodies) so the tree is
+parsed exactly once. The graph covers function bodies under src/ — the
+library layers whose locking and latency discipline the analyzer enforces;
+bench/examples/tests call *into* src/ and their call sites still resolve
+against this graph, but their own bodies are not nodes.
+
+Construction rules (documented with their approximations in DESIGN.md):
+
+  nodes        every function body under src/, named `Cls::method` for
+               members (in-class or out-of-line `Cls::m()` definitions) and
+               the bare name for free functions; overloads share one node
+  direct       `f(...)` inside a member body resolves to the enclosing
+               class (walking up base classes), else to a free function
+               with a body; `Cls::f(...)` resolves against Cls
+  members      `x.f(...)` / `x->f(...)` resolves the receiver's static
+               type from the enclosing class's fields, then from a
+               heuristic local/param type map (`KnownClass [&*] name`)
+  virtual      a resolved target is over-approximated *by name*: every
+               subclass of the target's class that declares or defines the
+               method is also a target (dynamic dispatch can reach any
+               override)
+  indirect     calls through std::function fields (including `using X =
+               std::function<...>` aliases) cannot be resolved statically;
+               they are flagged as indirect sites in the JSON export, not
+               silently dropped
+  unresolved   a receiver whose type is not a project class (std::
+               containers, iterators, `auto` locals) is treated as
+               external — the documented under-approximation
+
+On top of the graph, two transitive attributes are propagated caller-ward
+to a fixpoint with witness chains:
+
+  trans_locks  the set of lock classes (`Cls::mutex_`) a call may acquire,
+               seeded from MutexLock constructions and EXCLUDES/ACQUIRE
+               annotations
+  trans_block  whether a call may sleep, wait on a CondVar, or perform
+               file I/O
+
+lock_graph._analyze_body consumes both to extend lock-held-call and
+lock-blocking to indirect violations, and feeds every (held -> acquired)
+pair into the LockOrderGraph here, where Tarjan SCC detection reports
+potential static deadlocks (lock-order-cycle) with witness chains.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from cpptok import Tok
+from include_graph import Finding, layer_of
+import lock_graph as lg
+
+# Callee names that are never project calls (keywords, casts, annotations
+# are filtered by the shared sets in lock_graph).
+_SKIP_CALLEES = lg.KEYWORDS | lg.ANNOTATIONS | {"MutexLock", "CondVar"}
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    target: str   # qualified callee
+    line: int
+    kind: str     # "member" | "qualified" | "bare" | "virtual"
+
+
+class CallGraph:
+    def __init__(self, model: lg.Model):
+        self.model = model
+        # qual -> list of bodies (overloads share the node)
+        self.nodes: dict[str, list[lg.FuncBody]] = {}
+        # caller qual -> [CallEdge]; deduped on (caller, target)
+        self.edges: dict[str, list[CallEdge]] = {}
+        # call sites through std::function fields: conservative flags
+        self.indirect: list[dict] = []
+        # (cls, method) pairs that exist as declaration or definition
+        self.has_member: set[tuple[str, str]] = set()
+        self.free_funcs: set[str] = set()
+        self.subclasses: dict[str, set[str]] = {}
+        # qual -> {lock_id: evidence}
+        self.direct_locks: dict[str, dict[str, str]] = {}
+        # qual -> evidence
+        self.direct_block: dict[str, str] = {}
+        # qual -> {lock_id: (chain, evidence)}; chain = tuple of quals from
+        # the node toward the acquiring function (exclusive of the node)
+        self.trans_locks: dict[str, dict[str, tuple[tuple, str]]] = {}
+        # qual -> (chain, evidence)
+        self.trans_block: dict[str, tuple[tuple, str]] = {}
+        self._local_types: dict[int, dict[str, str]] = {}
+
+    def resolve_site(self, body, toks, i, callee, recv, qual):
+        return resolve_site(self, body, toks, i, callee, recv, qual)
+
+
+# --------------------------------------------------------------------------
+# Graph construction
+# --------------------------------------------------------------------------
+
+def build_call_graph(model: lg.Model) -> CallGraph:
+    cg = CallGraph(model)
+    _index_members(cg)
+    _index_subclasses(cg)
+    for qual, bodies in cg.nodes.items():
+        for body in bodies:
+            _harvest_edges(cg, qual, body)
+    _seed_attributes(cg)
+    _propagate(cg)
+    return cg
+
+
+def _index_members(cg: CallGraph) -> None:
+    model = cg.model
+    for cls in model.classes.values():
+        for mname in cls.methods:
+            cg.has_member.add((cls.name, mname))
+    for body in model.bodies:
+        if body.cls:
+            cg.has_member.add((body.cls, body.name))
+        if not body.file.startswith("src/"):
+            continue
+        cg.nodes.setdefault(body.qual, []).append(body)
+        if not body.cls:
+            cg.free_funcs.add(body.name)
+
+
+def _index_subclasses(cg: CallGraph) -> None:
+    children: dict[str, set[str]] = {}
+    for cls in cg.model.classes.values():
+        for base in cls.bases:
+            children.setdefault(base, set()).add(cls.name)
+    for root in children:
+        seen: set[str] = set()
+        frontier = [root]
+        while frontier:
+            c = frontier.pop()
+            for sub in children.get(c, ()):
+                if sub not in seen:
+                    seen.add(sub)
+                    frontier.append(sub)
+        cg.subclasses[root] = seen
+
+
+def _ancestors(cg: CallGraph, cls_name: str) -> list[str]:
+    """cls_name followed by its known base classes, BFS order."""
+    out, frontier = [], [cls_name]
+    seen: set[str] = set()
+    while frontier:
+        c = frontier.pop(0)
+        if c in seen or c not in cg.model.classes:
+            if c not in seen and c == cls_name:
+                out.append(c)  # keep the start even if undeclared
+            seen.add(c)
+            continue
+        seen.add(c)
+        out.append(c)
+        frontier.extend(cg.model.classes[c].bases)
+    return out
+
+
+def local_types(cg: CallGraph, body: lg.FuncBody) -> dict[str, str]:
+    """Heuristic name -> class map for a body's params and locals: the
+    pattern `KnownClass [&*const]* name` in the signature or body."""
+    cached = cg._local_types.get(id(body))
+    if cached is not None:
+        return cached
+    types: dict[str, str] = {}
+    classes = cg.model.classes
+    for toks in (body.sig_toks, body.toks):
+        i, n = 0, len(toks)
+        while i < n:
+            t = toks[i]
+            if t.kind == "id" and t.text in classes:
+                j = i + 1
+                if j < n and toks[j].text == "<":  # skip template args
+                    depth = 0
+                    while j < n:
+                        if toks[j].text == "<":
+                            depth += 1
+                        elif toks[j].text == ">":
+                            depth -= 1
+                            if depth == 0:
+                                j += 1
+                                break
+                        elif toks[j].text == ">>":
+                            depth -= 2
+                            if depth <= 0:
+                                j += 1
+                                break
+                        j += 1
+                while j < n and (toks[j].text in ("&", "*", "const")):
+                    j += 1
+                if j < n and toks[j].kind == "id":
+                    types.setdefault(toks[j].text, t.text)
+                i = j
+                continue
+            i += 1
+    cg._local_types[id(body)] = types
+    return types
+
+
+def _expand(cg: CallGraph, cls_name: str, callee: str) -> list[str]:
+    """Resolve `callee` against `cls_name`: the defining class (walking up
+    bases) plus — the virtual over-approximation — every subclass that
+    declares or defines a method of the same name."""
+    definer = next((c for c in _ancestors(cg, cls_name)
+                    if (c, callee) in cg.has_member), None)
+    targets: list[str] = []
+    if definer is not None:
+        targets.append(f"{definer}::{callee}")
+    for sub in sorted(cg.subclasses.get(definer or cls_name, ())):
+        if (sub, callee) in cg.has_member:
+            targets.append(f"{sub}::{callee}")
+    return targets
+
+
+def resolve_site(cg: CallGraph, body: lg.FuncBody, toks: list[Tok], i: int,
+                 callee: str, recv: str | None,
+                 qual: str | None) -> list[str]:
+    """Qualified targets of the call whose callee id is at toks[i].
+    Empty for external (std::), indirect, constructor, or unresolvable
+    receivers."""
+    model = cg.model
+    if callee in _SKIP_CALLEES:
+        return []
+    if qual is not None:
+        if qual in model.classes:
+            return _expand(cg, qual, callee)
+        return []  # std:: / foreign namespace
+    if recv is not None:
+        if recv == "this":
+            rtypes = [body.cls] if body.cls else []
+        else:
+            rtypes = []
+            cls = model.classes.get(body.cls) if body.cls else None
+            fld = cls.fields.get(recv) if cls else None
+            if fld is None:
+                lt = local_types(cg, body).get(recv)
+                if lt is not None:
+                    rtypes = [lt]
+                else:
+                    candidates = model.field_index.get(recv, [])
+                    # A field of exactly one project class: unambiguous even
+                    # from a lambda or free helper.
+                    if len(candidates) == 1:
+                        fld = candidates[0]
+            if fld is not None:
+                rtypes = [ti for ti in fld.type_ids if ti in model.classes]
+        out: list[str] = []
+        for rt in rtypes:
+            out.extend(_expand(cg, rt, callee))
+        return sorted(set(out))
+    # bare call: method of the enclosing class (or a base), else a free
+    # function with a body; `Class(...)` constructions are untracked.
+    if body.cls:
+        definer = next((c for c in _ancestors(cg, body.cls)
+                        if (c, callee) in cg.has_member), None)
+        if definer is not None:
+            return _expand(cg, definer, callee)
+    if callee in cg.free_funcs:
+        return [callee]
+    return []
+
+
+def _is_fn_field(cg: CallGraph, body: lg.FuncBody, name: str) -> bool:
+    """True when `name` is a field whose type is std::function (or an
+    alias of one) — a call through it is an indirect site."""
+    fn_types = {"function"} | cg.model.fn_aliases
+    cls = cg.model.classes.get(body.cls) if body.cls else None
+    fields = ([cls.fields[name]] if cls and name in cls.fields
+              else cg.model.field_index.get(name, []))
+    return any(set(f.type_ids) & fn_types for f in fields)
+
+
+def _harvest_edges(cg: CallGraph, qual: str, body: lg.FuncBody) -> None:
+    toks = body.toks
+    n = len(toks)
+    seen_targets: set[str] = {e.target for e in cg.edges.get(qual, ())}
+    edges = cg.edges.setdefault(qual, [])
+    for i, t in enumerate(toks):
+        if t.kind != "id" or i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        callee = t.text
+        if callee in _SKIP_CALLEES:
+            continue
+        recv = lg._receiver(toks, i)
+        q = lg._qualifier(toks, i)
+        if recv is None and q is None and _is_fn_field(cg, body, callee):
+            cg.indirect.append({
+                "caller": qual, "file": body.file, "line": t.line,
+                "name": callee,
+            })
+            continue
+        targets = resolve_site(cg, body, toks, i, callee, recv, q)
+        kind = ("qualified" if q else "member" if recv else "bare")
+        for target in targets:
+            if target in seen_targets:
+                continue
+            seen_targets.add(target)
+            edges.append(CallEdge(target=target, line=t.line,
+                                  kind="virtual" if len(targets) > 1
+                                  else kind))
+
+
+# --------------------------------------------------------------------------
+# Attributes + transitive closure
+# --------------------------------------------------------------------------
+
+def _seed_attributes(cg: CallGraph) -> None:
+    model = cg.model
+    for qual, bodies in cg.nodes.items():
+        for body in bodies:
+            cls = model.classes.get(body.cls) if body.cls else None
+            toks = body.toks
+            for i, t in enumerate(toks):
+                if t.kind != "id" or t.text != "MutexLock":
+                    continue
+                j = i + 1
+                if j < len(toks) and toks[j].kind == "id":
+                    j += 1
+                if j >= len(toks) or toks[j].text != "(":
+                    continue
+                end = lg._match_paren(toks, j)
+                expr_toks = toks[j + 1 : end - 1]
+                last_id = next((tt.text for tt in reversed(expr_toks)
+                                if tt.kind == "id"), "")
+                if not last_id:
+                    continue
+                lock_id = lg.resolve_lock_id(last_id, cls, model)
+                cg.direct_locks.setdefault(qual, {}).setdefault(
+                    lock_id, f"{qual} locks {lock_id} "
+                             f"({body.file}:{t.line})")
+            if qual not in cg.direct_block:
+                reason = lg._body_blocks(body, model)
+                if reason is None:
+                    reason = _condvar_wait_reason(body, cls, model)
+                if reason is not None:
+                    cg.direct_block[qual] = (f"{qual} {reason} "
+                                             f"({body.file}:{body.line})")
+    # Annotated declarations (EXCLUDES/ACQUIRE) seed lock identities even
+    # without a body in the scanned set.
+    for qual, (arg, evidence) in model.decl_acquires.items():
+        last_id = _last_id_of(arg)
+        owner = qual.split("::")[0] if "::" in qual else None
+        cls = model.classes.get(owner) if owner else None
+        lock_id = (lg.resolve_lock_id(last_id, cls, model) if last_id
+                   else f"{owner or '?'}::?")
+        cg.direct_locks.setdefault(qual, {}).setdefault(lock_id, evidence)
+
+
+def _last_id_of(expr: str) -> str:
+    out = ""
+    cur = ""
+    for ch in expr:
+        if ch.isalnum() or ch == "_":
+            cur += ch
+        else:
+            if cur:
+                out = cur
+            cur = ""
+    return cur or out
+
+
+def _condvar_wait_reason(body: lg.FuncBody, cls, model: lg.Model):
+    toks = body.toks
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text != "wait":
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        recv = lg._receiver(toks, i)
+        if recv is None:
+            continue
+        fields = ([cls.fields[recv]] if cls and recv in cls.fields
+                  else model.field_index.get(recv, []))
+        if any(f.is_condvar for f in fields):
+            return f"waits on CondVar {recv}"
+    return None
+
+
+def _propagate(cg: CallGraph) -> None:
+    rev: dict[str, list[str]] = {}
+    for caller, edges in cg.edges.items():
+        for e in edges:
+            rev.setdefault(e.target, []).append(caller)
+
+    for qual, locks in cg.direct_locks.items():
+        cg.trans_locks[qual] = {
+            lid: ((), ev) for lid, ev in locks.items()
+        }
+    work = list(cg.trans_locks)
+    while work:
+        q = work.pop(0)
+        entry = cg.trans_locks[q]
+        for caller in rev.get(q, ()):
+            slot = cg.trans_locks.setdefault(caller, {})
+            updated = False
+            for lid, (chain, ev) in entry.items():
+                if lid not in slot:
+                    slot[lid] = ((q,) + chain, ev)
+                    updated = True
+            if updated:
+                work.append(caller)
+
+    for qual, ev in cg.direct_block.items():
+        cg.trans_block.setdefault(qual, ((), ev))
+    work = list(cg.trans_block)
+    while work:
+        q = work.pop(0)
+        chain, ev = cg.trans_block[q]
+        for caller in rev.get(q, ()):
+            if caller not in cg.trans_block:
+                cg.trans_block[caller] = ((q,) + chain, ev)
+                work.append(caller)
+
+
+# --------------------------------------------------------------------------
+# Lock-order graph + deadlock cycles
+# --------------------------------------------------------------------------
+
+class LockOrderGraph:
+    """Ordered (held lock class -> acquired lock class) edges with one
+    witness each: the file/line of the acquiring site and the call chain
+    that reached it. Edges are collected even through guard-exempt or
+    suppressed sites — the order exists at runtime either way."""
+
+    def __init__(self):
+        self.edges: dict[tuple[str, str], dict] = {}
+
+    def add(self, held: str, acquired: str, file: str, line: int,
+            via: tuple) -> None:
+        key = (held, acquired)
+        if key not in self.edges:
+            self.edges[key] = {"file": file, "line": line,
+                               "via": tuple(via)}
+
+
+def check_lock_order(order: LockOrderGraph) -> list[Finding]:
+    """Tarjan SCC over the lock-order graph; every SCC with >1 lock (or a
+    self-loop: re-acquiring the same lock class) is a potential deadlock."""
+    adjacency: dict[str, list[str]] = {}
+    for (held, acquired) in order.edges:
+        adjacency.setdefault(held, []).append(acquired)
+        adjacency.setdefault(acquired, [])
+
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        work = [(v, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            neighbors = adjacency[node]
+            while pi < len(neighbors):
+                w = neighbors[pi]
+                pi += 1
+                if w not in index:
+                    work[-1] = (node, pi)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent, _ = work[-1]
+                low[parent] = min(low[parent], low[node])
+
+    for v in sorted(adjacency):
+        if v not in index:
+            strongconnect(v)
+
+    findings: list[Finding] = []
+    for scc in sccs:
+        members = sorted(scc)
+        self_loop = (len(scc) == 1
+                     and (scc[0], scc[0]) in order.edges)
+        if len(scc) < 2 and not self_loop:
+            continue
+        cycle_edges = sorted(
+            (key, w) for key, w in order.edges.items()
+            if key[0] in scc and key[1] in scc)
+        witnesses = "; ".join(
+            f"{held} -> {acq} at {w['file']}:{w['line']} "
+            f"(via {' -> '.join(w['via'])})"
+            for (held, acq), w in cycle_edges)
+        (held0, acq0), w0 = cycle_edges[0]
+        findings.append(Finding(
+            w0["file"], w0["line"], "lock-order-cycle",
+            "potential deadlock: lock-order cycle "
+            + " -> ".join(members + [members[0]])
+            + f" — witnesses: {witnesses}",
+            chain=w0["via"]))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Exports
+# --------------------------------------------------------------------------
+
+def write_dot(cg: CallGraph, path: str) -> None:
+    by_layer: dict[str, list[str]] = {}
+    files = {qual: bodies[0].file for qual, bodies in cg.nodes.items()}
+    for qual, file in files.items():
+        by_layer.setdefault(layer_of(file), []).append(qual)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("digraph calls {\n  rankdir=LR;\n  node [shape=box, "
+                "fontsize=9];\n")
+        for layer in sorted(by_layer):
+            f.write(f'  subgraph "cluster_{layer}" {{\n')
+            f.write(f'    label="{layer}";\n')
+            for qual in sorted(by_layer[layer]):
+                f.write(f'    "{qual}";\n')
+            f.write("  }\n")
+        for caller in sorted(cg.edges):
+            for e in sorted(cg.edges[caller],
+                            key=lambda e: (e.target, e.line)):
+                style = ' [style=dashed]' if e.kind == "virtual" else ""
+                f.write(f'  "{caller}" -> "{e.target}"{style};\n')
+        f.write("}\n")
+
+
+def call_json(cg: CallGraph) -> str:
+    payload = {
+        "nodes": {
+            qual: {
+                "file": bodies[0].file,
+                "line": bodies[0].line,
+                "locks": sorted(cg.trans_locks.get(qual, {})),
+                "blocks": cg.trans_block.get(qual, (None, None))[1],
+            }
+            for qual, bodies in sorted(cg.nodes.items())
+        },
+        "edges": [
+            {"from": caller, "to": e.target, "line": e.line,
+             "kind": e.kind}
+            for caller in sorted(cg.edges)
+            for e in sorted(cg.edges[caller],
+                            key=lambda e: (e.target, e.line))
+        ],
+        "indirect_sites": sorted(
+            cg.indirect, key=lambda s: (s["file"], s["line"], s["name"])),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_lock_order_dot(order: LockOrderGraph, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("digraph lock_order {\n  node [shape=box, fontsize=10];\n")
+        locks = sorted({l for key in order.edges for l in key})
+        for lock in locks:
+            f.write(f'  "{lock}";\n')
+        for (held, acquired), w in sorted(order.edges.items()):
+            f.write(f'  "{held}" -> "{acquired}" '
+                    f'[label="{w["file"]}:{w["line"]}", fontsize=8];\n')
+        f.write("}\n")
+
+
+def lock_order_json(order: LockOrderGraph,
+                    findings: list[Finding]) -> str:
+    payload = {
+        "edges": [
+            {"held": held, "acquired": acquired, "file": w["file"],
+             "line": w["line"], "via": list(w["via"])}
+            for (held, acquired), w in sorted(order.edges.items())
+        ],
+        "cycles": [
+            {"path": f.path, "line": f.line, "message": f.message}
+            for f in findings if f.check == "lock-order-cycle"
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

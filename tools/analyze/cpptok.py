@@ -237,6 +237,49 @@ def scrub(text: str) -> str:
     return "".join(out)
 
 
+class SourceCache:
+    """Memoized (text, tokens, lines) per file path.
+
+    analyze.py runs four passes (include graph, lock graph, call graph,
+    suppression scan) and tools/lint.py adds a fifth; each used to re-read
+    and re-tokenize every file. One SourceCache shared across passes means
+    each file is read and lexed exactly once per run.
+    """
+
+    def __init__(self):
+        self._text: dict[str, str] = {}
+        self._toks: dict[str, list[Tok]] = {}
+        self._lines: dict[str, list[str]] = {}
+        self.reads = 0       # actual file reads (cache misses)
+        self.lookups = 0     # total text/tokens/lines queries
+
+    def text(self, path: str) -> str:
+        self.lookups += 1
+        cached = self._text.get(path)
+        if cached is None:
+            with open(path, encoding="utf-8") as f:
+                cached = f.read()
+            self._text[path] = cached
+            self.reads += 1
+        return cached
+
+    def tokens(self, path: str) -> list[Tok]:
+        self.lookups += 1
+        cached = self._toks.get(path)
+        if cached is None:
+            cached = tokenize(self.text(path))
+            self._toks[path] = cached
+        return cached
+
+    def lines(self, path: str) -> list[str]:
+        self.lookups += 1
+        cached = self._lines.get(path)
+        if cached is None:
+            cached = self.text(path).splitlines()
+            self._lines[path] = cached
+        return cached
+
+
 def iter_source_files(roots: Iterable[str], exts={".hpp", ".cpp"}):
     """Walk `roots` yielding source paths in deterministic order."""
     import os

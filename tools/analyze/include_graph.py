@@ -20,7 +20,7 @@ import os
 import re
 from dataclasses import dataclass, field
 
-from cpptok import iter_source_files, tokenize
+from cpptok import SourceCache, iter_source_files
 
 LAYERS = ["util", "geom", "volume", "storage", "render", "core", "service"]
 TOP_TREES = ("bench", "examples", "tests")
@@ -43,6 +43,10 @@ class Finding:
     line: int
     check: str
     message: str
+    # Interprocedural checks attach the witness call chain (entry -> ... ->
+    # the function containing the violation) so the finding is actionable
+    # without re-running the analysis by hand. Empty for local checks.
+    chain: tuple = ()
 
 
 def layer_of(rel: str) -> str:
@@ -63,20 +67,20 @@ def rank_of(layer: str) -> int:
 
 
 def build_graph(root: str, rel_roots: list[str],
-                exclude: tuple[str, ...] = ()) -> dict[str, FileNode]:
+                exclude: tuple[str, ...] = (),
+                cache: SourceCache | None = None) -> dict[str, FileNode]:
     """Scan `rel_roots` (relative to `root`) and build the quote-include
     graph. System includes (<...>) are outside the architecture and ignored.
     `exclude` prefixes (e.g. the analyzer's own test fixtures) are skipped."""
     graph: dict[str, FileNode] = {}
+    cache = cache or SourceCache()
     abs_roots = [os.path.join(root, r) for r in rel_roots]
     for path in iter_source_files(abs_roots):
         rel = os.path.relpath(path, root).replace(os.sep, "/")
         if any(rel == e or rel.startswith(e + "/") for e in exclude):
             continue
         node = FileNode(rel=rel, layer=layer_of(rel))
-        with open(path, encoding="utf-8") as f:
-            text = f.read()
-        for tok in tokenize(text):
+        for tok in cache.tokens(path):
             if tok.kind != "pp":
                 continue
             m = _INCLUDE_RE.match(tok.text.strip())

@@ -6,13 +6,15 @@ sleeps, or performs blocking work while holding one. PR 1 made the data
 side checkable (`GUARDED_BY` + clang -Wthread-safety); this pass makes the
 *call* side checkable without running anything:
 
-  lock-held-call       a function that acquires a Mutex (constructs a
-                       MutexLock, or is EXCLUDES/ACQUIRE-annotated) — or a
-                       REQUIRES-annotated function whose mutex is not the
-                       one held — is called while a MutexLock is live
+  lock-held-call       a function that directly or transitively acquires a
+                       Mutex (constructs a MutexLock, or is EXCLUDES/
+                       ACQUIRE-annotated) — or a REQUIRES-annotated
+                       function whose mutex is not the one held — is called
+                       while a MutexLock is live; indirect findings print
+                       the full call chain to the acquisition
   lock-blocking        blocking work under a lock: file I/O, stream ctors,
-                       thread joins, sleeps, or a call to a function whose
-                       body directly sleeps / does file I/O
+                       thread joins, sleeps, or a call chain reaching any
+                       of those (call_graph.py's transitive closure)
   lock-foreign-wait    CondVar::wait(m) while holding a lock on a mutex
                        other than m (waiting on the held mutex is the one
                        sanctioned exception)
@@ -26,11 +28,17 @@ is GUARDED_BY the held mutex* is exempt — operating on the data the lock
 guards is the critical section's purpose (e.g. PackedFileBlockStore's
 file_ reads under io_mutex_, SharedHierarchy's hier_ calls under mutex_).
 
+Nested acquisitions additionally feed call_graph.py's lock-order graph
+(held-lock-class -> acquired-lock-class, recorded even for suppressed or
+guard-exempt sites), whose cycles are reported as lock-order-cycle.
+
 What this pass can and cannot prove is documented in DESIGN.md
-("Architecture analysis"): resolution is name-based and one level deep —
-it will not see a lock acquired two calls away, and a genuinely ambiguous
-method name can need an `analyze: allow` suppression. It complements, not
-replaces, -Wthread-safety (data races) and TSan (dynamic interleavings).
+("Architecture analysis"): resolution rides the project call graph — a
+deliberate under-approximation (no by-name fallback for unknown receivers;
+macros and constructors invisible) with virtual calls over-approximated to
+every overrider — so a genuinely unresolvable or ambiguous call can need
+an `analyze: allow` suppression. It complements, not replaces,
+-Wthread-safety (data races) and TSan (dynamic interleavings).
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from cpptok import Tok, tokenize, iter_source_files
+from cpptok import SourceCache, Tok, iter_source_files
 from include_graph import Finding
 
 # The annotated primitive itself: its internals ARE the raw synchronization
@@ -96,6 +104,7 @@ class ClassInfo:
     name: str
     file: str
     line: int
+    bases: tuple = ()                             # direct base class names
     fields: dict = field(default_factory=dict)    # name -> FieldInfo
     methods: dict = field(default_factory=dict)   # name -> MethodSig
 
@@ -111,6 +120,12 @@ class FuncBody:
     file: str
     toks: list              # body tokens, excluding the outer braces
     line: int
+    sig_toks: list = field(default_factory=list)  # declaration tokens
+                                                  # (annotations stripped)
+
+    @property
+    def qual(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
 
 
 class Model:
@@ -124,6 +139,13 @@ class Model:
         self.requires: dict[str, list[MethodSig]] = {}
         self.blocking: dict[str, str] = {}
         self.field_index: dict[str, list[FieldInfo]] = {}
+        # Qualified name -> (annotation arg, evidence) for EXCLUDES/ACQUIRE
+        # declarations: the call graph seeds lock identities from these even
+        # when the annotated function's body is elsewhere or absent.
+        self.decl_acquires: dict[str, tuple[str, str]] = {}
+        # `using X = std::function<...>` aliases: calls through fields of
+        # these types are indirect-call sites the call graph cannot resolve.
+        self.fn_aliases: set[str] = set()
 
     def add_class(self, cls: ClassInfo) -> None:
         self.classes[cls.name] = cls
@@ -309,17 +331,35 @@ class _Parser:
         # annotation macros and 'final'.
         head_wo, _ = _extract_annotations(head)
         name = None
+        bases: list[str] = []
+        in_bases = False
+        angle = 0
         for t in head_wo:
-            if t.kind == "id" and t.text in ("class", "struct", "union",
-                                             "final", "alignas"):
+            if t.kind == "punct":
+                if t.text == "<":
+                    angle += 1
+                elif t.text == ">":
+                    angle = max(0, angle - 1)
+                elif t.text == ">>":
+                    angle = max(0, angle - 2)
+                elif t.text == ":" and angle == 0:
+                    in_bases = True
                 continue
-            if t.kind == "punct" and t.text == ":":
-                break
-            if t.kind == "id":
-                name = t.text
+            if t.kind != "id":
+                continue
+            if in_bases:
+                # base names at angle depth 0; access specifiers and
+                # `virtual` are noise, template args live inside angles.
+                if angle == 0 and t.text not in ("public", "protected",
+                                                 "private", "virtual"):
+                    bases.append(t.text)
+                continue
+            if t.text in ("class", "struct", "union", "final", "alignas"):
+                continue
+            name = t.text
         if name is None:
             return
-        cls = ClassInfo(name=name, file=self.rel,
+        cls = ClassInfo(name=name, file=self.rel, bases=tuple(bases),
                         line=head[0].line if head else self.toks[brace].line)
         self._scan_region(brace + 1, close - 1, cls=cls)
         self.model.add_class(cls)
@@ -333,6 +373,13 @@ class _Parser:
         first = stmt[0]
         if first.kind == "id" and first.text in ("using", "typedef", "friend",
                                                  "template"):
+            if first.text == "using":
+                ids = [t.text for t in stmt if t.kind == "id"]
+                # `using Alias = std::function<...>`: remember the alias so
+                # call sites through fields of this type are flagged as
+                # indirect (unresolvable) rather than silently dropped.
+                if len(ids) >= 3 and "function" in ids[2:]:
+                    self.model.fn_aliases.add(ids[1])
             # templates: the repo's lock classes are untemplated; skip.
             if body is None:
                 return
@@ -363,16 +410,19 @@ class _Parser:
         if any(a in annots for a in ("EXCLUDES", "ACQUIRE", "ACQUIRE_SHARED")):
             sig.acquires = True
             qual = f"{owner}::{name}" if owner else name
-            self.model.locking.setdefault(
-                name, f"{qual} is EXCLUDES/ACQUIRE-annotated "
-                      f"({self.rel}:{nm.line})")
+            evidence = (f"{qual} is EXCLUDES/ACQUIRE-annotated "
+                        f"({self.rel}:{nm.line})")
+            self.model.locking.setdefault(name, evidence)
+            arg = (annots.get("EXCLUDES") or annots.get("ACQUIRE")
+                   or annots.get("ACQUIRE_SHARED") or "")
+            self.model.decl_acquires.setdefault(qual, (arg, evidence))
         if cls is not None and name not in cls.methods:
             cls.methods[name] = sig
         if body is not None:
             lo, hi = body
             self.model.bodies.append(FuncBody(
                 name=name, cls=owner, file=self.rel,
-                toks=self.toks[lo:hi], line=nm.line))
+                toks=self.toks[lo:hi], line=nm.line, sig_toks=clean))
 
     def _handle_field(self, clean, annots, cls: ClassInfo) -> None:
         if not clean:
@@ -459,8 +509,10 @@ def _body_blocks(body: FuncBody, model: Model) -> str | None:
 
 
 def build_model(root: str, rel_roots: list[str],
-                exclude: tuple[str, ...] = ()) -> Model:
+                exclude: tuple[str, ...] = (),
+                cache: SourceCache | None = None) -> Model:
     model = Model()
+    cache = cache or SourceCache()
     abs_roots = [os.path.join(root, r) for r in rel_roots]
     for path in iter_source_files(abs_roots):
         rel = os.path.relpath(path, root).replace(os.sep, "/")
@@ -468,9 +520,7 @@ def build_model(root: str, rel_roots: list[str],
             continue
         if any(rel == e or rel.startswith(e + "/") for e in exclude):
             continue
-        with open(path, encoding="utf-8") as f:
-            text = f.read()
-        _Parser(rel, tokenize(text), model).parse()
+        _Parser(rel, cache.tokens(path), model).parse()
     for body in model.bodies:
         qual = f"{body.cls}::{body.name}" if body.cls else body.name
         if _body_acquires(body):
@@ -494,6 +544,23 @@ class _HeldLock:
     expr: str      # full mutex expression text, e.g. "st->mutex"
     last_id: str   # trailing identifier, e.g. "mutex"
     line: int
+    lock_id: str = ""  # class-qualified identity, e.g. "ThreadPool::mutex_"
+
+
+def resolve_lock_id(last_id: str, cls: ClassInfo | None, model: Model) -> str:
+    """Class-qualified identity of a mutex expression's trailing identifier.
+
+    Lock-order analysis works at *lock class* granularity (DESIGN.md): two
+    instances of the same class share an identity. Resolution prefers the
+    enclosing class's own field, then a unique mutex field anywhere in the
+    tree; an unresolvable expression keeps a '?' owner so edges stay visible
+    instead of silently vanishing."""
+    if cls is not None and last_id in cls.fields and cls.fields[last_id].is_mutex:
+        return f"{cls.name}::{last_id}"
+    candidates = [f for f in model.field_index.get(last_id, []) if f.is_mutex]
+    if len(candidates) == 1:
+        return f"{candidates[0].cls}::{last_id}"
+    return f"?::{last_id}"
 
 
 def _receiver(toks: list[Tok], i: int) -> str | None:
@@ -526,7 +593,16 @@ def _guard_exempt(recv: str | None, held: list[_HeldLock], cls: ClassInfo | None
                for f in candidates)
 
 
-def _analyze_body(body: FuncBody, model: Model) -> list[Finding]:
+def _analyze_body(body: FuncBody, model: Model, cg=None,
+                  order=None) -> list[Finding]:
+    """Walk one body with the lock-scope tracker.
+
+    With `cg` (a call_graph.CallGraph) the checks become interprocedural:
+    call sites under a held lock are resolved to qualified targets, the
+    targets' *transitive* acquires/blocks attributes extend lock-held-call
+    and lock-blocking to indirect violations (full call chain in the
+    finding), and every held->acquired pair feeds `order` (a
+    call_graph.LockOrderGraph) for deadlock-cycle detection."""
     findings: list[Finding] = []
     toks = body.toks
     cls = model.classes.get(body.cls) if body.cls else None
@@ -559,8 +635,22 @@ def _analyze_body(body: FuncBody, model: Model) -> list[Finding]:
                 expr = _expr_text(expr_toks)
                 last_id = next((tt.text for tt in reversed(expr_toks)
                                 if tt.kind == "id"), expr)
+                lock_id = resolve_lock_id(last_id, cls, model)
+                if held:
+                    # Direct nested acquisition: the leaf-lock rule bans a
+                    # second Mutex outright, whatever the order.
+                    findings.append(Finding(
+                        body.file, t.line, "lock-held-call",
+                        f"MutexLock({expr}) constructed while already "
+                        f"holding {', '.join(h.expr for h in held)} — "
+                        "leaf-lock rule (DESIGN.md)"))
+                    if order is not None:
+                        for h in held:
+                            order.add(h.lock_id, lock_id, body.file, t.line,
+                                      via=(body.qual,))
                 held.append(_HeldLock(depth=depth, expr=expr,
-                                      last_id=last_id, line=t.line))
+                                      last_id=last_id, line=t.line,
+                                      lock_id=lock_id))
                 i = end
                 continue
             i += 1
@@ -579,6 +669,22 @@ def _analyze_body(body: FuncBody, model: Model) -> list[Finding]:
         qual = _qualifier(toks, i)
         end = _match_paren(toks, i + 1)
         args = toks[i + 2 : end - 1]
+
+        # Interprocedural context: resolve the call to qualified targets and
+        # record lock-order edges (held lock class -> every lock class the
+        # target transitively acquires). Edges are harvested even for
+        # guard-exempt or suppressed sites — they describe the order the
+        # program *uses*, which is exactly what cycle detection needs.
+        targets: list[str] = []
+        if cg is not None:
+            targets = cg.resolve_site(body, toks, i, callee, recv, qual)
+            if order is not None and held:
+                for tq in targets:
+                    for lid in sorted(cg.trans_locks.get(tq, {})):
+                        chain, _ev = cg.trans_locks[tq][lid]
+                        for h in held:
+                            order.add(h.lock_id, lid, body.file, t.line,
+                                      via=(body.qual, tq) + chain)
 
         # CondVar::wait on a foreign mutex
         recv_fields = ([cls.fields[recv]] if cls and recv in (cls.fields or {})
@@ -668,6 +774,45 @@ def _analyze_body(body: FuncBody, model: Model) -> list[Finding]:
                 f"(DESIGN.md): {model.locking[callee]}"))
             i = end
             continue
+
+        # Transitive attributes: none of the direct checks fired, but the
+        # resolved target may sleep / do I/O / take a lock further down the
+        # call graph. The finding carries the full witness chain.
+        if targets and not _guard_exempt(recv, held, cls, model):
+            fired = False
+            for tq in targets:
+                tb = cg.trans_block.get(tq)
+                if tb is None:
+                    continue
+                chain, ev = tb
+                route = (body.qual, tq) + chain
+                findings.append(Finding(
+                    body.file, t.line, "lock-blocking",
+                    f"call chain {' -> '.join(route)} blocks while "
+                    f"holding {', '.join(h.expr for h in held)}: {ev}",
+                    chain=route))
+                fired = True
+                break
+            if not fired:
+                for tq in targets:
+                    locks = cg.trans_locks.get(tq)
+                    if not locks:
+                        continue
+                    lid = min(locks)
+                    chain, ev = locks[lid]
+                    route = (body.qual, tq) + chain
+                    findings.append(Finding(
+                        body.file, t.line, "lock-held-call",
+                        f"call chain {' -> '.join(route)} acquires "
+                        f"{lid} while holding "
+                        f"{', '.join(h.expr for h in held)} — leaf-lock "
+                        f"rule (DESIGN.md): {ev}",
+                        chain=route))
+                    fired = True
+                    break
+            if fired:
+                i = end
+                continue
         i += 1
     return findings
 
@@ -691,9 +836,11 @@ def check_unguarded_fields(model: Model) -> list[Finding]:
     return findings
 
 
-def check_lock_graph(model: Model) -> list[Finding]:
+def check_lock_graph(model: Model, cg=None, order=None) -> list[Finding]:
+    """Run the per-body lock checks. `cg`/`order` (built by call_graph.py)
+    upgrade the pass from one-level-deep to fully interprocedural."""
     findings: list[Finding] = []
     for body in model.bodies:
-        findings.extend(_analyze_body(body, model))
+        findings.extend(_analyze_body(body, model, cg, order))
     findings.extend(check_unguarded_fields(model))
     return findings

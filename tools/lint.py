@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """vizcache repository lint: invariants clang-tidy cannot express.
 
-Checks (over src/ by default):
+Checks (over the same trees the architecture analyzer scans — src/ bench/
+examples/ tests/ — minus the analyzer's seeded fixture trees):
 
   pragma-once    every header's first directive is `#pragma once`
   console-io     std::cout / std::cerr / printf confined to src/util/log.*
@@ -39,6 +40,9 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "tools", "analyze"))
 
 from cpptok import iter_source_files, tokenize  # noqa: E402
+# Scanned trees are shared with the analyzer so the two tools can never
+# drift apart on what counts as "the repo".
+from analyze import DEFAULT_EXCLUDE, DEFAULT_ROOTS  # noqa: E402
 
 CONSOLE_IO_ALLOWLIST = {"src/util/log.cpp", "src/util/log.hpp"}
 # Whole trees where printing to stdout is the point (reports, demos).
@@ -152,7 +156,8 @@ def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("paths", nargs="*", default=None,
-                        help="directories to lint (default: src/)")
+                        help="directories to lint "
+                             f"(default: {' '.join(DEFAULT_ROOTS)})")
     parser.add_argument("--headers", action="store_true",
                         help="also compile every header standalone (-fsyntax-only)")
     parser.add_argument("--compiler", default=os.environ.get("CXX", "c++"),
@@ -160,15 +165,19 @@ def main(argv) -> int:
     parser.add_argument("--std", default="c++20", help="language standard for --headers")
     args = parser.parse_args(argv)
 
-    roots = [os.path.join(REPO_ROOT, p) for p in (args.paths or ["src"])]
+    roots = [os.path.join(REPO_ROOT, p) for p in (args.paths or DEFAULT_ROOTS)]
     for root in roots:
         if not os.path.isdir(root):
             print(f"lint: no such directory: {root}", file=sys.stderr)
             return 2
+    excluded = tuple(os.path.join(REPO_ROOT, e) + os.sep
+                     for e in DEFAULT_EXCLUDE)
 
     linter = Linter()
     headers = []
     for path in iter_source_files(roots, {".hpp", ".cpp"}):
+        if path.startswith(excluded):
+            continue  # analyzer fixtures carry seeded violations
         with open(path, encoding="utf-8") as f:
             text = f.read()
         toks = tokenize(text)
