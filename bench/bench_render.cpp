@@ -1,11 +1,21 @@
-// Render hot-path benchmark: the block-coherent fast path (3D-DDA brick
-// traversal + transfer-function LUT + raw-pointer trilinear sampling)
-// against the retained scalar reference path (per-sample std::function
-// dispatch, piecewise-linear TF scan, pow opacity correction) on the same
-// fully-resident 3d_ball volume and camera.
+// Render hot-path benchmark: three generations of the same frame on a
+// fully-resident 3d_ball volume and camera —
+//
+//   reference  scalar path (per-sample std::function dispatch, piecewise-
+//              linear TF scan, pow opacity correction)
+//   dda+lut    block-coherent fast path (3D-DDA brick traversal, transfer-
+//              function LUT, raw-pointer trilinear sampling)
+//   packet     SIMD ray packets (8 lanes through the same DDA segments,
+//              vectorized trilinear fetch + LUT lookup + compositing)
+//
+// plus an adaptive-sampling sweep: the packet path with an importance mask
+// (entropy threshold keeping the top `fraction` of blocks at full rate,
+// everything else at stride 2 or 4) across fraction x stride combinations,
+// reporting the extra ns/sample reduction and the image deviation each
+// combination buys.
 //
 // Writes BENCH_render.json (override with json=path) with ns/sample and
-// frames/s for both paths plus the speedup, so the render perf trajectory
+// frames/s for every path plus the speedups, so the render perf trajectory
 // is machine-readable from this PR onward.
 //
 // Extra key=value knobs: width/height (default 256), blocks (target block
@@ -14,8 +24,10 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
+#include "core/importance.hpp"
 #include "render/brick_sampler.hpp"
 #include "render/raycaster.hpp"
 
@@ -75,7 +87,8 @@ double max_channel_diff(const Image& a, const Image& b) {
 int main(int argc, char** argv) {
   BenchEnv env = BenchEnv::parse("render", argc, argv);
   env.banner(
-      "render hot path: block-coherent DDA+LUT vs scalar reference "
+      "render hot path: SIMD packets vs block-coherent DDA+LUT vs scalar "
+      "reference, plus importance-masked adaptive sampling "
       "(fully resident 3d_ball)");
 
   const usize width = static_cast<usize>(env.cfg.get_int("width", 256));
@@ -110,6 +123,12 @@ int main(int argc, char** argv) {
     fast_image = img;
     return img;
   });
+  Image packet_image(1, 1);
+  PathTiming packet = time_path(fast_frames, [&](RaycastStats& rs) {
+    Image img = raycast_packet(camera, bricks, lut, params, &pool, &rs);
+    packet_image = img;
+    return img;
+  });
   Image ref_image(1, 1);
   PathTiming ref = time_path(ref_frames, [&](RaycastStats& rs) {
     Image img = raycast(camera, reference, tf, params, &pool, &rs);
@@ -117,14 +136,54 @@ int main(int argc, char** argv) {
     return img;
   });
 
+  // Adaptive sweep: entropy importance keeps the top `fraction` of blocks
+  // at full rate, the rest samples at `stride` with the exact opacity
+  // rescale. Deviation is measured against the full-rate packet image.
+  struct AdaptiveRun {
+    std::string key;
+    double fraction;
+    u8 stride;
+    PathTiming timing;
+    double diff_vs_full = 0.0;
+  };
+  const ImportanceTable importance = ImportanceTable::build(store, 256, 0, 0,
+                                                            &pool);
+  std::vector<AdaptiveRun> adaptive;
+  for (double fraction : {0.5, 0.25}) {
+    for (u8 stride : {u8{2}, u8{4}}) {
+      AdaptiveRun run;
+      run.key = "f" + std::to_string(static_cast<int>(fraction * 100)) +
+                "_s" + std::to_string(int{stride});
+      run.fraction = fraction;
+      run.stride = stride;
+      const SamplingMask mask = make_sampling_mask(
+          importance, importance.threshold_for_fraction(fraction), stride);
+      Image img(1, 1);
+      run.timing = time_path(fast_frames, [&](RaycastStats& rs) {
+        Image frame =
+            raycast_packet(camera, bricks, lut, params, &pool, &rs, &mask);
+        img = frame;
+        return frame;
+      });
+      run.diff_vs_full = max_channel_diff(img, packet_image);
+      adaptive.push_back(std::move(run));
+    }
+  }
+
   const double speedup = fast.frame_ms > 0.0 ? ref.frame_ms / fast.frame_ms : 0.0;
   const double sample_speedup =
       fast.ns_per_sample > 0.0 ? ref.ns_per_sample / fast.ns_per_sample : 0.0;
+  const double packet_speedup =
+      packet.frame_ms > 0.0 ? fast.frame_ms / packet.frame_ms : 0.0;
+  const double packet_sample_speedup =
+      packet.ns_per_sample > 0.0 ? fast.ns_per_sample / packet.ns_per_sample
+                                 : 0.0;
   const double diff = max_channel_diff(fast_image, ref_image);
+  const double packet_diff = max_channel_diff(packet_image, ref_image);
 
   TablePrinter table({"path", "frame(ms)", "frames/s", "ns/sample", "samples",
                       "rays", "composited"});
-  auto row = [&](const char* name, const PathTiming& t) {
+  auto row = [&](const std::string& name, const PathTiming& t) {
     table.row({name, TablePrinter::fmt(t.frame_ms, 2),
                TablePrinter::fmt(t.fps, 2), TablePrinter::fmt(t.ns_per_sample, 2),
                std::to_string(t.stats.samples), std::to_string(t.stats.rays),
@@ -132,17 +191,42 @@ int main(int argc, char** argv) {
   };
   row("reference", ref);
   row("dda+lut", fast);
+  row("packet", packet);
+  for (const AdaptiveRun& run : adaptive) {
+    row("packet+" + run.key, run.timing);
+  }
   table.print("render hot path — " + std::to_string(width) + "x" +
               std::to_string(height) + ", " +
-              std::to_string(grid.block_count()) + " blocks");
-  std::cout << "speedup (frame time): " << TablePrinter::fmt(speedup, 2)
+              std::to_string(grid.block_count()) + " blocks, packet width " +
+              std::to_string(raycast_packet_width()) +
+              (raycast_packet_native() ? " (native)" : " (fallback)"));
+  std::cout << "speedup dda+lut vs reference (frame time): "
+            << TablePrinter::fmt(speedup, 2)
             << "x   (ns/sample): " << TablePrinter::fmt(sample_speedup, 2)
             << "x\n"
-            << "max channel diff vs reference: " << diff
-            << (diff <= 0.05 ? "  [ok]" : "  [WARN: paths diverge]") << "\n"
-            << (speedup >= 3.0 ? "PASS" : "WARN")
+            << "speedup packet vs dda+lut (frame time): "
+            << TablePrinter::fmt(packet_speedup, 2) << "x   (ns/sample): "
+            << TablePrinter::fmt(packet_sample_speedup, 2) << "x\n"
+            << "max channel diff vs reference: dda+lut " << diff
+            << ", packet " << packet_diff
+            << (std::max(diff, packet_diff) <= 0.05
+                    ? "  [ok]"
+                    : "  [WARN: paths diverge]")
+            << "\n";
+  for (const AdaptiveRun& run : adaptive) {
+    std::cout << "adaptive " << run.key << ": "
+              << TablePrinter::fmt(run.timing.ns_per_sample, 2)
+              << " ns/sample, frame "
+              << TablePrinter::fmt(run.timing.frame_ms, 2)
+              << " ms, max diff vs full-rate packet "
+              << TablePrinter::fmt(run.diff_vs_full, 4) << "\n";
+  }
+  std::cout << (speedup >= 3.0 ? "PASS" : "WARN")
             << ": fast path is " << TablePrinter::fmt(speedup, 2)
-            << "x the reference (target >= 3x)\n";
+            << "x the reference (target >= 3x)\n"
+            << (packet_speedup >= 2.0 ? "PASS" : "WARN")
+            << ": packet path is " << TablePrinter::fmt(packet_speedup, 2)
+            << "x the dda+lut path (target >= 2x)\n";
 
   JsonObject config;
   config.string("dataset", "3d_ball")
@@ -152,6 +236,8 @@ int main(int argc, char** argv) {
       .integer("blocks", static_cast<i64>(grid.block_count()))
       .number("step_size", params.step_size)
       .integer("lut_resolution", static_cast<i64>(lut.resolution()))
+      .integer("packet_width", static_cast<i64>(raycast_packet_width()))
+      .boolean("packet_native", raycast_packet_native())
       .boolean("quick", env.quick);
   auto path_json = [](const PathTiming& t) {
     JsonObject o;
@@ -163,14 +249,32 @@ int main(int argc, char** argv) {
         .integer("composited", static_cast<i64>(t.stats.composited));
     return o;
   };
+  // Adaptive runs nest as one keyed object per fraction x stride combo
+  // ("f50_s2" = top 50% full rate, stride 2 elsewhere), each carrying the
+  // usual path fields plus the combo knobs and the deviation from the
+  // full-rate packet image.
+  JsonObject adaptive_json;
+  for (const AdaptiveRun& run : adaptive) {
+    JsonObject o = path_json(run.timing);
+    o.number("full_rate_fraction", run.fraction)
+        .integer("coarse_stride", int{run.stride})
+        .integer("skipped", static_cast<i64>(run.timing.stats.skipped))
+        .number("max_channel_diff_vs_packet", run.diff_vs_full);
+    adaptive_json.object(run.key, std::move(o));
+  }
   JsonObject root;
   root.string("bench", "render")
       .object("config", std::move(config))
       .object("reference", path_json(ref))
       .object("dda_lut", path_json(fast))
+      .object("packet", path_json(packet))
+      .object("adaptive", std::move(adaptive_json))
       .number("speedup_frame_time", speedup)
       .number("speedup_ns_per_sample", sample_speedup)
-      .number("max_channel_diff", diff);
+      .number("packet_speedup_frame_time", packet_speedup)
+      .number("packet_speedup_ns_per_sample", packet_sample_speedup)
+      .number("max_channel_diff", diff)
+      .number("packet_max_channel_diff", packet_diff);
   const std::string json_path = env.cfg.get_string("json", "BENCH_render.json");
   root.write(json_path);
   std::cout << "# json -> " << json_path << "\n";

@@ -198,6 +198,21 @@ void ImportanceTable::save(const std::string& path) const {
   if (!out) throw IoError("importance table write failed: " + path);
 }
 
+SamplingMask make_sampling_mask(const ImportanceTable& table,
+                                double sigma_bits, u8 coarse_stride) {
+  VIZ_REQUIRE(
+      coarse_stride == 1 || coarse_stride == 2 || coarse_stride == 4,
+      "adaptive sampling stride must be 1, 2, or 4");
+  SamplingMask mask;
+  mask.stride.resize(table.block_count());
+  for (usize id = 0; id < mask.stride.size(); ++id) {
+    mask.stride[id] =
+        table.entropy(static_cast<BlockId>(id)) > sigma_bits ? u8{1}
+                                                             : coarse_stride;
+  }
+  return mask;
+}
+
 ImportanceTable ImportanceTable::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open importance table: " + path);

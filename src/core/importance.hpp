@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "render/sampling_mask.hpp"
 #include "util/thread_pool.hpp"
 #include "volume/block_store.hpp"
 
@@ -77,5 +78,14 @@ class ImportanceTable {
 
   void build_ranking();
 };
+
+/// Importance-masked adaptive sampling wiring: blocks whose entropy exceeds
+/// `sigma_bits` keep the full sampling rate (stride 1), everything else is
+/// integrated at `coarse_stride` (2 or 4 — the packet ray-caster's exact
+/// opacity-rescale strides; 1 yields a no-op mask). Pair with
+/// `table.threshold_for_fraction(f)` to keep the top f of blocks at full
+/// rate. Consumed by `raycast_packet` (render/raycaster.hpp).
+SamplingMask make_sampling_mask(const ImportanceTable& table,
+                                double sigma_bits, u8 coarse_stride = 4);
 
 }  // namespace vizcache

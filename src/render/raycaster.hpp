@@ -6,6 +6,7 @@
 #include "geom/camera.hpp"
 #include "render/brick_sampler.hpp"
 #include "render/image.hpp"
+#include "render/sampling_mask.hpp"
 #include "render/transfer_function.hpp"
 #include "util/thread_pool.hpp"
 
@@ -30,10 +31,16 @@ struct RaycastParams {
 
 /// Work counters filled by a render (all paths). `samples` counts data
 /// evaluations — the denominator of the bench's ns/sample metric.
+/// `skipped` counts sample positions the block-coherent paths jumped over
+/// in O(1) because the containing brick was not resident (the reference
+/// path evaluates those positions instead, so its `samples` includes
+/// them). At full residency, `samples`, `skipped`, and `rays` of the
+/// DDA and packet paths agree exactly — a regression test pins this.
 struct RaycastStats {
   u64 rays = 0;        ///< rays that intersected the volume
   u64 samples = 0;     ///< scalar data evaluations along those rays
   u64 composited = 0;  ///< samples that contributed color (alpha > 0)
+  u64 skipped = 0;     ///< sample positions skipped over non-resident bricks
 };
 
 /// Front-to-back compositing volume ray-caster. Perspective camera looking
@@ -68,5 +75,43 @@ Image raycast(const Camera& camera, const VolumeSampler& sampler,
 Image raycast(const Camera& camera, const BrickSampler& bricks,
               const TransferFunctionLUT& lut, const RaycastParams& params,
               ThreadPool* pool = nullptr, RaycastStats* stats = nullptr);
+
+/// SIMD ray-packet fast path. Eight coherent rays (adjacent pixels of one
+/// row) march as one packet: per-lane 3D-DDA segment bookkeeping stays in
+/// scalar double precision (bit-identical segment bounds to the
+/// block-coherent path above), while the per-sample inner loop — trilinear
+/// fetch, LUT lookup, and front-to-back compositing — runs across all
+/// lanes at once through util/simd.hpp (AVX2, or the identical-width
+/// portable fallback). Lanes retire independently under a mask: early-out
+/// opacity termination and ray exit drop a lane without disturbing the
+/// others, non-resident segments are skipped per lane in O(1), and when
+/// packet coherence breaks at brick boundaries the corner fetches fall
+/// back from one shared gather base to per-lane loads.
+///
+/// `mask` (optional) enables importance-masked adaptive sampling: blocks
+/// with stride s > 1 are sampled at every s-th position of the global
+/// sample lattice, with the LUT's baked opacity correction rescaled
+/// exactly for the longer effective step (alpha' = 1-(1-alpha)^s, a
+/// closed-form polynomial for s in {2, 4}). Strides outside {1, 2, 4} are
+/// rejected. At full rate (null or all-ones mask) the image matches the
+/// block-coherent path to vector-FP precision and the golden tests bound
+/// it against the scalar oracle at the usual 1e-3/channel; under adaptive
+/// sampling the documented looser bound applies (see DESIGN.md).
+///
+/// Thread-safety: same contract as the other overloads.
+Image raycast_packet(const Camera& camera, const BrickSampler& bricks,
+                     const TransferFunctionLUT& lut,
+                     const RaycastParams& params, ThreadPool* pool = nullptr,
+                     RaycastStats* stats = nullptr,
+                     const SamplingMask* mask = nullptr);
+
+/// Compile-time lane width of the packet path (8 in both the AVX2 and the
+/// portable fallback build).
+usize raycast_packet_width();
+
+/// True when the packet path was compiled against native AVX2 intrinsics,
+/// false in the portable scalar-width fallback build (-DVIZCACHE_SIMD=OFF
+/// or a compiler without -mavx2).
+bool raycast_packet_native();
 
 }  // namespace vizcache

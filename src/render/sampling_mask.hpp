@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Per-block sampling stride for importance-masked adaptive sampling
+/// (PAPERS.md "Make the Fastest Faster: Importance Mask Synthesis"): the
+/// packet ray-caster samples every stride-th position of the global sample
+/// lattice inside a block, so high-importance blocks keep the full rate
+/// (stride 1) while near-constant ambient blocks are integrated at stride
+/// 2 or 4 with the opacity correction rescaled exactly (see
+/// raycaster_packet.cpp). Strides must be 1, 2, or 4 — the rescale factors
+/// are closed-form polynomials only for powers of two up to 4, and the
+/// packet entry point rejects anything else loudly.
+///
+/// The struct is a plain per-BlockId table so the render layer stays
+/// independent of where the importance signal comes from; the core layer
+/// wires it to `ImportanceTable` via `make_sampling_mask` (importance.hpp).
+struct SamplingMask {
+  std::vector<u8> stride;  ///< indexed by BlockId; values in {1, 2, 4}
+
+  /// Stride of one block; blocks beyond the table default to full rate.
+  u8 stride_of(BlockId id) const {
+    return id < stride.size() ? stride[id] : u8{1};
+  }
+
+  /// Every block at the same stride (stride-1 mask == no mask).
+  static SamplingMask uniform(usize block_count, u8 s) {
+    SamplingMask m;
+    m.stride.assign(block_count, s);
+    return m;
+  }
+};
+
+}  // namespace vizcache

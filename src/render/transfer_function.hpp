@@ -94,6 +94,16 @@ class TransferFunctionLUT {
   usize resolution() const { return entries_.size() - 1; }
   double step_size() const { return step_size_; }
 
+  /// Raw node array viewed as a flat float sequence: entry i occupies
+  /// floats [4i, 4i+4) in r,g,b,a order. The SIMD packet path gathers
+  /// channel c of nodes i0/i0+1 at flat()[4*i0 + c] / [4*i0 + c + 4],
+  /// reproducing sample() lane-for-lane.
+  const float* flat() const {
+    static_assert(sizeof(Entry) == 4 * sizeof(float),
+                  "Entry must be four contiguous floats for the flat view");
+    return &entries_[0].r;
+  }
+
  private:
   std::vector<Entry> entries_;  ///< resolution()+1 node samples
   float scale_ = 0.0f;          ///< == resolution(), cached for sample()

@@ -1,0 +1,71 @@
+#include "core/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+TEST(SamplingMask, UniformAndDefaults) {
+  const SamplingMask m = SamplingMask::uniform(5, 2);
+  ASSERT_EQ(m.stride.size(), 5u);
+  for (BlockId id = 0; id < 5; ++id) EXPECT_EQ(m.stride_of(id), 2);
+  // Blocks beyond the table fall back to full rate, never to coarse.
+  EXPECT_EQ(m.stride_of(99), 1);
+}
+
+TEST(MakeSamplingMask, ThresholdSplitsFullAndCoarse) {
+  // Handcrafted entropies: blocks 0/2 are "interesting", 1/3/4 are ambient.
+  const ImportanceTable table =
+      ImportanceTable::from_scores({5.0, 0.5, 4.0, 0.1, 1.0});
+  const SamplingMask m = make_sampling_mask(table, 2.0);
+  ASSERT_EQ(m.stride.size(), 5u);
+  EXPECT_EQ(m.stride_of(0), 1);
+  EXPECT_EQ(m.stride_of(1), 4);  // default coarse stride
+  EXPECT_EQ(m.stride_of(2), 1);
+  EXPECT_EQ(m.stride_of(3), 4);
+  EXPECT_EQ(m.stride_of(4), 4);
+}
+
+TEST(MakeSamplingMask, CoarseStrideIsConfigurable) {
+  const ImportanceTable table = ImportanceTable::from_scores({5.0, 0.5});
+  const SamplingMask m2 = make_sampling_mask(table, 2.0, 2);
+  EXPECT_EQ(m2.stride_of(0), 1);
+  EXPECT_EQ(m2.stride_of(1), 2);
+  // Coarse stride 1 yields the identity mask (useful as an ablation knob).
+  const SamplingMask m1 = make_sampling_mask(table, 2.0, 1);
+  EXPECT_EQ(m1.stride_of(1), 1);
+}
+
+TEST(MakeSamplingMask, ThresholdIsStrict) {
+  // Blocks exactly AT sigma go coarse — consistent with
+  // ImportanceTable::above_threshold's strict compare.
+  const ImportanceTable table = ImportanceTable::from_scores({2.0, 2.0001});
+  const SamplingMask m = make_sampling_mask(table, 2.0);
+  EXPECT_EQ(m.stride_of(0), 4);
+  EXPECT_EQ(m.stride_of(1), 1);
+}
+
+TEST(MakeSamplingMask, PairsWithThresholdForFraction) {
+  // The intended wiring: keep the top-fraction blocks at full rate.
+  std::vector<double> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(static_cast<double>(i));
+  const ImportanceTable table = ImportanceTable::from_scores(scores);
+  const double sigma = table.threshold_for_fraction(0.25);
+  const SamplingMask m = make_sampling_mask(table, sigma);
+  usize full = 0;
+  for (BlockId id = 0; id < 100; ++id) {
+    if (m.stride_of(id) == 1) ++full;
+  }
+  EXPECT_EQ(full, 25u);
+}
+
+TEST(MakeSamplingMask, RejectsUnsupportedStride) {
+  const ImportanceTable table = ImportanceTable::from_scores({1.0});
+  EXPECT_THROW(make_sampling_mask(table, 0.5, 3), InvalidArgument);
+  EXPECT_THROW(make_sampling_mask(table, 0.5, 8), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -113,6 +113,27 @@ TEST(BrickRaycaster, PartialResidencyMatchesReference) {
                      1e-3);
 }
 
+TEST(BrickRaycaster, PartialResidencyAllThreePathsAgree) {
+  // Same eviction pattern, third implementation: the SIMD packet path must
+  // skip exactly the same non-resident regions as the DDA path and the
+  // reference sampler (the packet path's own suite lives in
+  // test_packet_raycaster.cpp; this pins the three-way agreement alongside
+  // the original two-way golden).
+  BallScene s;
+  const usize n = s.store.grid().block_count();
+  for (BlockId id = 0; id < n; id += 3) s.bricks.evict(id);
+  const RaycastParams p = strict_params();
+  const TransferFunction tf = TransferFunction::fire();
+  const Camera cam({2.4, 1.2, 0.7}, 38.0);
+  const TransferFunctionLUT lut(tf, p.step_size);
+  Image packet = raycast_packet(cam, s.bricks, lut, p);
+  Image dda = raycast(cam, s.bricks, lut, p);
+  Image ref = raycast(cam, make_reference_sampler(s.bricks), tf, p);
+  EXPECT_LT(max_channel_diff(packet, ref), 1e-3);
+  EXPECT_LT(max_channel_diff(packet, dda), 1e-4);
+  EXPECT_GT(packet.coverage(), 0.05);
+}
+
 TEST(BrickRaycaster, EmptyResidencyGivesEmptyImage) {
   BallScene s;
   const usize n = s.store.grid().block_count();

@@ -18,4 +18,11 @@ void render_row(int n) {
   helper_alloc(n);
 }
 
+// Second registry entry: a direct allocation in the packet twin.
+void render_packet(int n) {
+  std::vector<int> lanes;
+  lanes.push_back(n);  // seeded: direct hot-path-alloc (line 24)
+  helper_alloc(static_cast<int>(lanes.size()));
+}
+
 }  // namespace fx

@@ -4,5 +4,6 @@ namespace fx {
 
 int helper_alloc(int n);
 void render_row(int n);
+void render_packet(int n);
 
 }  // namespace fx

@@ -22,4 +22,8 @@ int helper_sum(int n) {
 
 void render_row(int n) { helper_sum(n); }
 
+// Second registry entry: the packet twin shares the vetted helper, so a
+// multi-entry registry stays clean end to end.
+void render_packet(int n) { helper_sum(n * 8); }
+
 }  // namespace fx

@@ -4,5 +4,6 @@ namespace fx {
 
 int helper_sum(int n);
 void render_row(int n);
+void render_packet(int n);
 
 }  // namespace fx

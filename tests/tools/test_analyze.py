@@ -173,6 +173,7 @@ class HotPathTest(unittest.TestCase):
             ("src/util/render.cpp", 15, "hot-path-io"),
             ("src/util/render.cpp", 16, "hot-path-throw"),
             ("src/util/render.cpp", 17, "hot-path-block"),
+            ("src/util/render.cpp", 24, "hot-path-alloc"),
         })
         # The transitive allocation reports the route from the entry point.
         self.assertIn("render_row -> helper_alloc", proc.stdout)

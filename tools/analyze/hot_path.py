@@ -50,6 +50,9 @@ DEFAULT_REGISTRY = {
     "entries": [
         {"function": "raycast",
          "why": "per-pixel brick sampling inner loop (fig-13 latency)"},
+        {"function": "raycast_packet",
+         "why": "SIMD packet render path: per-sample vector loop plus the "
+                "per-lane scalar segment walk"},
         {"function": "MemoryHierarchy::fetch",
          "why": "demand fetch on the frame critical path"},
         {"function": "MemoryHierarchy::prefetch",
