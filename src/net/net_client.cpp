@@ -1,0 +1,147 @@
+#include "net/net_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace vizcache {
+
+NetClient::~NetClient() { disconnect(); }
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), rbuf_(std::move(other.rbuf_)) {}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    disconnect();
+    fd_ = std::exchange(other.fd_, -1);
+    rbuf_ = std::move(other.rbuf_);
+  }
+  return *this;
+}
+
+void NetClient::connect(const std::string& host, u16 port,
+                        int so_rcvbuf_bytes) {
+  VIZ_REQUIRE(fd_ < 0, "NetClient is already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  VIZ_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+              "NetClient::connect needs a numeric IPv4 host");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw IoError("NetClient: socket() failed");
+  if (so_rcvbuf_bytes > 0) {
+    // Must precede connect() so the small window is what gets advertised.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &so_rcvbuf_bytes,
+                 sizeof so_rcvbuf_bytes);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("NetClient: connect to " + host + " failed");
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  rbuf_.clear();
+}
+
+void NetClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  rbuf_.clear();
+}
+
+void NetClient::send_raw(std::span<const u8> bytes) {
+  VIZ_REQUIRE(fd_ >= 0, "NetClient is not connected");
+  usize sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t s =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (s > 0) {
+      sent += static_cast<usize>(s);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw IoError("NetClient: send failed");
+  }
+}
+
+std::optional<RawFrame> NetClient::read_frame() {
+  VIZ_REQUIRE(fd_ >= 0, "NetClient is not connected");
+  for (;;) {
+    ParsedFrame frame;
+    const ParseStatus status =
+        try_parse_frame(rbuf_, kMaxResponsePayload, frame);
+    if (status == ParseStatus::kTooLarge) {
+      throw IoError("NetClient: unparseable response stream");
+    }
+    if (status == ParseStatus::kFrame) {
+      RawFrame out;
+      out.type = frame.type;
+      out.body.assign(frame.body.begin(), frame.body.end());
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<std::ptrdiff_t>(frame.frame_bytes));
+      return out;
+    }
+    u8 buf[16384];
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r > 0) {
+      rbuf_.insert(rbuf_.end(), buf, buf + r);
+      continue;
+    }
+    if (r == 0) return std::nullopt;  // orderly EOF
+    if (errno == EINTR) continue;
+    throw IoError("NetClient: recv failed");
+  }
+}
+
+RawFrame NetClient::round_trip(const std::vector<u8>& request,
+                               FrameType expected) {
+  send_raw(request);
+  std::optional<RawFrame> frame = read_frame();
+  if (!frame) throw IoError("NetClient: connection closed by server");
+  if (frame->type == FrameType::kError) {
+    const std::optional<NetErrorReply> err = decode_error(frame->body);
+    if (!err) throw IoError("NetClient: undecodable error frame");
+    throw NetProtocolError(err->code, err->message);
+  }
+  if (frame->type != expected) {
+    throw IoError("NetClient: unexpected response frame type");
+  }
+  return *std::move(frame);
+}
+
+SessionId NetClient::open() {
+  const RawFrame frame = round_trip(encode_open(), FrameType::kOpenOk);
+  const std::optional<SessionId> sid = decode_open_ok(frame.body);
+  if (!sid) throw IoError("NetClient: undecodable OPEN_OK");
+  return *sid;
+}
+
+SessionStepResult NetClient::step(const Camera& camera) {
+  const RawFrame frame = round_trip(encode_step(camera), FrameType::kStepOk);
+  const std::optional<SessionStepResult> sr = decode_step_ok(frame.body);
+  if (!sr) throw IoError("NetClient: undecodable STEP_OK");
+  return *sr;
+}
+
+FetchReply NetClient::fetch(BlockId id) {
+  const RawFrame frame = round_trip(encode_fetch(id), FrameType::kFetchOk);
+  std::optional<FetchReply> reply = decode_fetch_ok(frame.body);
+  if (!reply) throw IoError("NetClient: undecodable FETCH_OK");
+  return *std::move(reply);
+}
+
+SessionSummary NetClient::close_session() {
+  const RawFrame frame = round_trip(encode_close(), FrameType::kCloseOk);
+  const std::optional<SessionSummary> summary = decode_close_ok(frame.body);
+  if (!summary) throw IoError("NetClient: undecodable CLOSE_OK");
+  return *summary;
+}
+
+}  // namespace vizcache

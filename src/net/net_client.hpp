@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace vizcache {
+
+/// One raw frame as read off the socket (used by protocol tests and the
+/// load generator's malformed-input scenarios).
+struct RawFrame {
+  FrameType type = FrameType::kError;
+  std::vector<u8> body;
+};
+
+/// Small blocking client for the NetServer wire protocol: one TCP
+/// connection, one request in flight at a time. Error frames surface as
+/// NetProtocolError; transport failures as IoError. Movable, not copyable —
+/// the load generator keeps hundreds of these in a vector.
+///
+/// Not thread-safe: one NetClient belongs to one driving thread.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+
+  /// Connect to `host:port` (numeric IPv4 host, e.g. "127.0.0.1").
+  /// `so_rcvbuf_bytes` > 0 shrinks SO_RCVBUF before connecting, so a client
+  /// that stops reading exerts backpressure after only a few kilobytes —
+  /// the slow-client scenarios depend on this.
+  void connect(const std::string& host, u16 port, int so_rcvbuf_bytes = 0);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Abrupt close: no CLOSE frame — the server must reap the session.
+  void disconnect();
+
+  SessionId open();
+  SessionStepResult step(const Camera& camera);
+  FetchReply fetch(BlockId id);
+  SessionSummary close_session();
+
+  /// Escape hatches for malformed-input and backpressure scenarios.
+  void send_raw(std::span<const u8> bytes);
+  /// Blocking read of one frame; nullopt on EOF. Throws IoError on a
+  /// transport error or an unparseable stream.
+  std::optional<RawFrame> read_frame();
+
+ private:
+  /// Send `request`, read one frame, require `expected` (kError throws
+  /// NetProtocolError, EOF and anything else IoError).
+  RawFrame round_trip(const std::vector<u8>& request, FrameType expected);
+
+  int fd_ = -1;
+  std::vector<u8> rbuf_;
+};
+
+}  // namespace vizcache

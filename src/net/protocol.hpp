@@ -1,0 +1,151 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/camera.hpp"
+#include "service/block_service.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace vizcache {
+
+/// Wire protocol of the serving front-end (NetServer / NetClient).
+///
+/// Every frame is `u32 payload_length` (little-endian, counting every byte
+/// after the length field) followed by the payload, whose first byte is the
+/// FrameType. All integers are little-endian; doubles travel as the
+/// little-endian bytes of their IEEE-754 bit pattern. Decoders are strict:
+/// truncated or over-long payloads yield nullopt, never a crash.
+
+/// First payload byte of every frame. Requests < 0x80 <= responses.
+enum class FrameType : u8 {
+  kOpen = 0x01,     ///< body: empty
+  kStep = 0x02,     ///< body: f64 pos.x, pos.y, pos.z, view_angle_deg
+  kFetch = 0x03,    ///< body: u32 block id
+  kClose = 0x04,    ///< body: empty
+
+  kOpenOk = 0x81,   ///< body: u32 session id
+  kStepOk = 0x82,   ///< body: SessionStepResult (see encode_step_ok)
+  kFetchOk = 0x83,  ///< body: u32 id, u8 fast_hit, u8 coalesced, f64
+                    ///< seconds, u64 payload_bytes, payload bytes
+  kCloseOk = 0x84,  ///< body: SessionSummary (see encode_close_ok)
+  kError = 0xFF,    ///< body: u16 code, u16 message length, message bytes
+};
+
+/// Typed error codes carried by kError frames. Codes <= kShutdown close the
+/// connection after the reply; the application-level codes (kRejected,
+/// kBadBlock) leave it open so the client can retry.
+enum class NetErrorCode : u16 {
+  kMalformed = 1,      ///< frame failed to decode (truncated / trailing bytes)
+  kFrameTooLarge = 2,  ///< declared payload length above the receiver's cap
+  kUnknownType = 3,    ///< unrecognised FrameType
+  kNoSession = 4,      ///< STEP/FETCH/CLOSE before a successful OPEN
+  kSessionOpen = 5,    ///< OPEN while the connection already holds a session
+  kOverloaded = 6,     ///< slow client: write queue exceeded its bound
+  kShutdown = 7,       ///< server is stopping
+  kInternal = 8,       ///< the service threw while serving the request
+  kRejected = 100,     ///< admission control: max_sessions reached
+  kBadBlock = 101,     ///< FETCH of an out-of-range block id
+};
+
+/// True for the codes after which the server closes the connection.
+constexpr bool error_closes_connection(NetErrorCode code) {
+  return static_cast<u16>(code) < 100;
+}
+
+/// Hard bounds. Requests are tiny (largest is STEP at 33 payload bytes);
+/// responses carry block payloads, so their cap is generous.
+constexpr usize kMaxRequestPayload = 256;
+constexpr usize kMaxResponsePayload = usize{8} << 20;
+
+/// The serving hierarchy is simulated, so FETCH payload bytes are synthesized
+/// deterministically from (block id, offset) — clients and tests can verify
+/// payload integrity without shipping a real volume over the wire.
+inline u8 block_payload_byte(BlockId id, u64 offset) {
+  u64 x = (static_cast<u64>(id) << 32) ^ (offset + 0x9E3779B97F4A7C15ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<u8>(x);
+}
+
+/// Decoded kError frame.
+struct NetErrorReply {
+  NetErrorCode code = NetErrorCode::kInternal;
+  std::string message;
+};
+
+/// Decoded kFetchOk frame.
+struct FetchReply {
+  BlockId block = kInvalidBlock;
+  bool fast_hit = false;
+  bool coalesced = false;
+  SimSeconds seconds = 0.0;
+  std::vector<u8> payload;
+};
+
+/// Thrown by NetClient when the server answers with a kError frame.
+class NetProtocolError : public VizError {
+ public:
+  NetProtocolError(NetErrorCode code, const std::string& message)
+      : VizError(message), code_(code) {}
+  NetErrorCode code() const { return code_; }
+
+ private:
+  NetErrorCode code_;
+};
+
+// ---------------------------------------------------------------------------
+// Encoders: return a complete frame (length prefix included).
+
+std::vector<u8> encode_open();
+std::vector<u8> encode_step(const Camera& camera);
+std::vector<u8> encode_fetch(BlockId id);
+std::vector<u8> encode_close();
+
+std::vector<u8> encode_open_ok(SessionId session);
+std::vector<u8> encode_step_ok(const SessionStepResult& result);
+/// Synthesizes `payload_bytes` bytes of block_payload_byte(id, i) payload.
+std::vector<u8> encode_fetch_ok(BlockId id, bool fast_hit, bool coalesced,
+                                SimSeconds seconds, u64 payload_bytes);
+std::vector<u8> encode_close_ok(const SessionSummary& summary);
+std::vector<u8> encode_error(NetErrorCode code, const std::string& message);
+
+// ---------------------------------------------------------------------------
+// Decoders: `body` is the frame payload AFTER the FrameType byte. Strict —
+// nullopt on truncation, trailing bytes, or any out-of-bounds length.
+
+std::optional<Camera> decode_step(std::span<const u8> body);
+std::optional<BlockId> decode_fetch(std::span<const u8> body);
+std::optional<SessionId> decode_open_ok(std::span<const u8> body);
+std::optional<SessionStepResult> decode_step_ok(std::span<const u8> body);
+std::optional<FetchReply> decode_fetch_ok(std::span<const u8> body);
+std::optional<SessionSummary> decode_close_ok(std::span<const u8> body);
+std::optional<NetErrorReply> decode_error(std::span<const u8> body);
+
+// ---------------------------------------------------------------------------
+// Incremental framing over a byte stream.
+
+enum class ParseStatus {
+  kNeedMore,   ///< the buffer does not yet hold a complete frame
+  kFrame,      ///< `out` holds one frame (type may still be unknown)
+  kTooLarge,   ///< declared length is 0 or exceeds `max_payload` — fatal
+};
+
+/// One frame cut out of `buffer`; `body` views into the caller's buffer.
+struct ParsedFrame {
+  FrameType type = FrameType::kError;
+  std::span<const u8> body;  ///< payload after the type byte
+  usize frame_bytes = 0;     ///< total bytes consumed (prefix + payload)
+};
+
+/// Try to cut one frame off the front of `buffer`.
+ParseStatus try_parse_frame(std::span<const u8> buffer, usize max_payload,
+                            ParsedFrame& out);
+
+}  // namespace vizcache

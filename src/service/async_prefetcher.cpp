@@ -23,6 +23,20 @@ void AsyncPrefetcher::request(std::span<const BlockId> blocks, usize var,
   // request() or a demand read) — the duplicate is suppressed.
   for (BlockId id : candidates) {
     if (!coalescer_.try_claim(id)) continue;
+    // The cached check above is a snapshot: a read of this block may have
+    // completed between it and the claim (store_payload publishes to the
+    // cache BEFORE releasing the claim, so a successful claim means any
+    // finished read is already visible here). Re-probe, or duplicate ids in
+    // one batch would each re-read the block once the previous read lands.
+    bool already_cached = false;
+    {
+      MutexLock lock(mutex_);
+      already_cached = cache_.count(id) != 0;
+    }
+    if (already_cached) {
+      coalescer_.complete(id);  // we own this claim; nothing was read
+      continue;
+    }
     pool_.submit([this, id, var, timestep] {
       // A failed background load must not wedge the block in the in-flight
       // table: record the failure and let a later demand read retry (and

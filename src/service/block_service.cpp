@@ -38,12 +38,28 @@ BlockService::BlockService(const BlockGrid& grid, MemoryHierarchy hierarchy,
   // Service-wide analogue of Algorithm 1 line 7: warm the SHARED fast level
   // once, most important blocks first, before any session arrives.
   if (config_.app_aware && config_.preload_important) {
+    MetricCounter& scanned = metrics_.counter("service.preload.scanned");
+    MetricCounter& preloaded = metrics_.counter("service.preload.blocks");
+    const std::vector<BlockId>& ranked = importance_->ranked();
+    // Suffix minima of the ranked blocks' sizes: once the budget drops below
+    // the smallest block still ahead, no candidate can fit and the scan must
+    // stop instead of walking the rest of the ranking doing entropy lookups.
+    std::vector<u64> min_bytes_ahead(ranked.size() + 1,
+                                     std::numeric_limits<u64>::max());
+    for (usize i = ranked.size(); i-- > 0;) {
+      min_bytes_ahead[i] =
+          std::min(min_bytes_ahead[i + 1], grid_.block_bytes(ranked[i]));
+    }
     u64 budget = shared_.fast_capacity_bytes();
-    for (BlockId id : importance_->ranked()) {
+    for (usize i = 0; i < ranked.size(); ++i) {
+      if (budget < min_bytes_ahead[i]) break;  // nothing ahead can fit
+      scanned.inc();
+      const BlockId id = ranked[i];
       if (importance_->entropy(id) <= config_.sigma_bits) break;
       const u64 bytes = grid_.block_bytes(id);
       if (bytes > budget) continue;  // a smaller block may still fit
       shared_.preload(id);
+      preloaded.inc();
       budget -= bytes;
     }
   }
@@ -55,13 +71,55 @@ std::optional<SessionId> BlockService::open_session() {
     ins_.rejected->inc();
     return std::nullopt;
   }
-  const SessionId id = next_session_++;
+  // After next_session_ (u32) wraps, the next candidate id can belong to a
+  // still-open long-lived session; aliasing it would hand two viewers one
+  // SessionState. Skip live ids — the map holds at most max_sessions
+  // entries, so this terminates long before the counter laps itself.
+  SessionId id = next_session_++;
+  while (sessions_.find(id) != sessions_.end()) id = next_session_++;
   SessionState state;
   state.summary.id = id;
-  sessions_.emplace(id, state);
+  const bool inserted = sessions_.emplace(id, state).second;
+  VIZ_CHECK(inserted, "open_session raced an id it just probed as free");
   ins_.opened->inc();
   ins_.active->set(static_cast<double>(sessions_.size()));
   return id;
+}
+
+void BlockService::set_next_session_id(SessionId next) {
+  MutexLock lock(mutex_);
+  next_session_ = next;
+}
+
+BlockService::BlockFetch BlockService::fetch_block(SessionId session,
+                                                   BlockId id) {
+  VIZ_REQUIRE(id < grid_.block_count(), "fetch_block: block id out of range");
+  {
+    MutexLock lock(mutex_);
+    VIZ_REQUIRE(sessions_.find(session) != sessions_.end(),
+                "fetch_block on a closed or unknown session");
+  }
+  // Epoch-bracketed exactly like a step so the shared eviction protection
+  // covers the read; no service lock is held across the hierarchy call.
+  const u64 epoch = shared_.begin_step();
+  BlockFetch result;
+  result.fetch = shared_.fetch(id, epoch);
+  result.bytes = grid_.block_bytes(id);
+  shared_.end_step(epoch);
+
+  ins_.demand_requests->inc();
+  if (result.fetch.coalesced) ins_.coalesced_hits->inc();
+  if (!result.fetch.fast_hit) ins_.fast_misses->inc();
+  {
+    MutexLock lock(mutex_);
+    auto it = sessions_.find(session);
+    VIZ_REQUIRE(it != sessions_.end(), "session closed during fetch_block");
+    SessionSummary& sum = it->second.summary;
+    sum.demand_requests += 1;
+    if (result.fetch.coalesced) sum.coalesced_hits += 1;
+    if (!result.fetch.fast_hit) sum.fast_misses += 1;
+  }
+  return result;
 }
 
 SessionStepResult BlockService::step(SessionId session, const Camera& camera) {

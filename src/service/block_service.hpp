@@ -97,8 +97,23 @@ class BlockService {
                ServiceConfig config, const VisibilityTable* table = nullptr,
                const ImportanceTable* importance = nullptr);
 
-  /// Admit a session, or reject (nullopt) when max_sessions are open.
+  /// Admit a session, or reject (nullopt) when max_sessions are open. Never
+  /// hands out an id that is still open, even after the u32 counter wraps.
   std::optional<SessionId> open_session() EXCLUDES(mutex_);
+
+  /// Test hook: reposition the id cursor (e.g. next to the u32 wrap) so the
+  /// wraparound path is exercisable without 2^32 opens.
+  void set_next_session_id(SessionId next) EXCLUDES(mutex_);
+
+  /// One demand fetch outside a step — the network front-end's FETCH verb.
+  struct BlockFetch {
+    SharedHierarchy::FetchResult fetch;
+    u64 bytes = 0;             ///< the block's payload size
+  };
+
+  /// Demand-fetch a single block for `session`, epoch-bracketed like a step
+  /// and counted into the session summary. Thread-safe across sessions.
+  BlockFetch fetch_block(SessionId session, BlockId id) EXCLUDES(mutex_);
 
   /// Serve one step of `session` at `camera`. Thread-safe across sessions.
   SessionStepResult step(SessionId session, const Camera& camera)
@@ -111,6 +126,7 @@ class BlockService {
 
   SharedHierarchy& hierarchy() { return shared_; }
   const SharedHierarchy& hierarchy() const { return shared_; }
+  const BlockGrid& grid() const { return grid_; }
 
   /// The service's registry: service.* instruments plus the shared
   /// hierarchy's and coalescer's (bound at construction).

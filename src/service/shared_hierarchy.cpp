@@ -46,12 +46,18 @@ void SharedHierarchy::pace() const {
 
 SharedHierarchy::FetchResult SharedHierarchy::fetch(BlockId id, u64 epoch) {
   FetchResult result;
+  bool waited = false;
   for (;;) {
     {
       MutexLock lock(mutex_);
       if (hier_.resident_fast(id)) {
         result.seconds = hier_.fetch(id, epoch, protect_floor_locked(epoch));
         result.fast_hit = true;
+        // A coalesced hit is only the case where waiting on another
+        // session's read is what made this probe fast. A waiter whose
+        // leader landed nothing (block evicted again before the re-probe)
+        // pays its own slow read below and must NOT count as coalesced.
+        result.coalesced = waited;
         return result;
       }
     }
@@ -69,7 +75,7 @@ SharedHierarchy::FetchResult SharedHierarchy::fetch(BlockId id, u64 epoch) {
     // coalescer's own leaf lock) and re-probe. Usually the leader's
     // promotion makes the next probe a fast hit; if the block was already
     // evicted again, the loop claims it afresh.
-    if (coalescer_.wait(id)) result.coalesced = true;
+    if (coalescer_.wait(id)) waited = true;
   }
 }
 

@@ -54,7 +54,9 @@ class SharedHierarchy {
   struct FetchResult {
     SimSeconds seconds = 0.0;  ///< simulated serving time
     bool fast_hit = false;     ///< served by the fastest (DRAM) level
-    bool coalesced = false;    ///< waited on another session's read in flight
+    bool coalesced = false;    ///< fast hit produced by waiting on another
+                               ///< session's in-flight read (never set when
+                               ///< this fetch paid its own backing read)
   };
 
   struct PrefetchResult {
@@ -65,7 +67,8 @@ class SharedHierarchy {
 
   /// Demand-fetch `id` for the step with epoch `epoch`. Never performs a
   /// duplicate backing read: a miss while another session reads the same
-  /// block waits for that read and is reported as coalesced.
+  /// block waits for that read, and is reported as coalesced iff the wait
+  /// is what served it (the post-wait probe hit fast memory).
   FetchResult fetch(BlockId id, u64 epoch) EXCLUDES(mutex_);
 
   /// Prefetch `id`. Prefetches never wait: if the block is claimed by

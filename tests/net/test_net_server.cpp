@@ -1,0 +1,368 @@
+#include "net/net_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "core/workbench.hpp"
+#include "net/net_client.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+bool wait_until(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+/// Shared workbench (one build of T_visible/T_important per suite); each
+/// test gets a fresh service + server on an ephemeral loopback port.
+class NetServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchSpec spec;
+    spec.dataset = DatasetId::kBall3d;
+    spec.scale = 0.08;  // ~82^3
+    spec.target_blocks = 256;
+    spec.omega = {8, 16, 3, 2.5, 3.5};
+    bench_ = std::make_unique<Workbench>(spec);
+  }
+  static void TearDownTestSuite() { bench_.reset(); }
+
+  static ServiceConfig make_config() {
+    ServiceConfig cfg;
+    cfg.app_aware = true;
+    cfg.sigma_bits = bench_->sigma_bits();
+    cfg.render_model = bench_->spec().render_model;
+    cfg.lookup_cost = bench_->spec().lookup_cost;
+    return cfg;
+  }
+
+  static std::unique_ptr<BlockService> make_service(ServiceConfig cfg) {
+    const BlockGrid* g = &bench_->grid();
+    MemoryHierarchy hier = MemoryHierarchy::paper_testbed(
+        bench_->dataset_bytes(), bench_->spec().cache_ratio, PolicyKind::kLru,
+        [g](BlockId id) { return g->block_bytes(id); });
+    return std::make_unique<BlockService>(bench_->grid(), std::move(hier), cfg,
+                                          &bench_->table(),
+                                          &bench_->importance());
+  }
+
+  static CameraPath path(usize n = 10, u64 seed = 99) {
+    RandomPathSpec rp;
+    rp.step_min_deg = 4.0;
+    rp.step_max_deg = 6.0;
+    rp.positions = n;
+    rp.seed = seed;
+    return make_random_path(rp);
+  }
+
+  static NetClient connect_to(const NetServer& server) {
+    NetClient client;
+    client.connect("127.0.0.1", server.port());
+    return client;
+  }
+
+  static std::unique_ptr<Workbench> bench_;
+};
+
+std::unique_ptr<Workbench> NetServerTest::bench_;
+
+TEST_F(NetServerTest, StartStopAndEphemeralPort) {
+  auto svc = make_service(make_config());
+  NetServer server(*svc);
+  server.start();
+  EXPECT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST_F(NetServerTest, OpenStepFetchCloseRoundTrip) {
+  auto svc = make_service(make_config());
+  NetServer server(*svc);
+  server.start();
+  NetClient client = connect_to(server);
+
+  const SessionId sid = client.open();
+  EXPECT_EQ(svc->active_sessions(), 1u);
+
+  const CameraPath p = path(5);
+  u64 demand = 0;
+  for (usize i = 0; i < p.size(); ++i) {
+    const SessionStepResult sr = client.step(p[i]);
+    EXPECT_EQ(sr.step, i + 1);
+    EXPECT_GT(sr.visible_blocks, 0u);
+    demand += sr.visible_blocks;
+  }
+
+  const FetchReply first = client.fetch(3);
+  EXPECT_EQ(first.block, 3u);
+  EXPECT_EQ(first.payload.size(), bench_->grid().block_bytes(3));
+  for (u64 i = 0; i < first.payload.size(); ++i) {
+    ASSERT_EQ(first.payload[i], block_payload_byte(3, i)) << "offset " << i;
+  }
+  const FetchReply again = client.fetch(3);
+  EXPECT_TRUE(again.fast_hit);
+
+  const SessionSummary sum = client.close_session();
+  EXPECT_EQ(sum.id, sid);
+  EXPECT_EQ(sum.steps, p.size());
+  EXPECT_EQ(sum.demand_requests, demand + 2);  // steps + the two fetches
+  EXPECT_EQ(svc->active_sessions(), 0u);
+
+  // The connection survives a session close: it can open a fresh session.
+  const SessionId sid2 = client.open();
+  EXPECT_NE(sid2, sid);
+  client.close_session();
+  server.stop();
+  EXPECT_EQ(svc->metrics().counter("net.frames.received").value(),
+            svc->metrics().counter("net.frames.sent").value());
+}
+
+// The wire adds nothing and loses nothing: the same camera path on the same
+// service shape produces bit-identical step results in-process and remotely.
+TEST_F(NetServerTest, ServedStepsMatchInProcessStepsExactly) {
+  auto local = make_service(make_config());
+  auto remote = make_service(make_config());
+  NetServer server(*remote);
+  server.start();
+  NetClient client = connect_to(server);
+
+  const auto local_sid = local->open_session();
+  ASSERT_TRUE(local_sid.has_value());
+  client.open();
+
+  for (const Camera& cam : path(8, 4321)) {
+    const SessionStepResult a = local->step(*local_sid, cam);
+    const SessionStepResult b = client.step(cam);
+    EXPECT_EQ(a.step, b.step);
+    EXPECT_EQ(a.visible_blocks, b.visible_blocks);
+    EXPECT_EQ(a.fast_misses, b.fast_misses);
+    EXPECT_EQ(a.coalesced_hits, b.coalesced_hits);
+    EXPECT_EQ(a.prefetched, b.prefetched);
+    EXPECT_EQ(a.prefetch_shed, b.prefetch_shed);
+    EXPECT_EQ(a.prefetch_suppressed, b.prefetch_suppressed);
+    EXPECT_EQ(a.io_time, b.io_time);  // exact: doubles cross the wire as bits
+    EXPECT_EQ(a.lookup_time, b.lookup_time);
+    EXPECT_EQ(a.prefetch_time, b.prefetch_time);
+    EXPECT_EQ(a.render_time, b.render_time);
+    EXPECT_EQ(a.total_time, b.total_time);
+  }
+  const SessionSummary sa = local->close_session(*local_sid);
+  const SessionSummary sb = client.close_session();
+  EXPECT_EQ(sa.demand_requests, sb.demand_requests);
+  EXPECT_EQ(sa.fast_misses, sb.fast_misses);
+  EXPECT_EQ(sa.prefetched, sb.prefetched);
+  EXPECT_EQ(sa.sim_time, sb.sim_time);
+}
+
+TEST_F(NetServerTest, StepBeforeOpenIsRefusedAndClosed) {
+  auto svc = make_service(make_config());
+  NetServer server(*svc);
+  server.start();
+  NetClient client = connect_to(server);
+  try {
+    client.step(Camera({0, 0, 4}, 30));
+    FAIL() << "expected NetProtocolError";
+  } catch (const NetProtocolError& e) {
+    EXPECT_EQ(e.code(), NetErrorCode::kNoSession);
+  }
+  EXPECT_FALSE(client.read_frame().has_value());  // server closed the stream
+}
+
+TEST_F(NetServerTest, SecondOpenOnOneConnectionIsRefused) {
+  auto svc = make_service(make_config());
+  NetServer server(*svc);
+  server.start();
+  NetClient client = connect_to(server);
+  client.open();
+  try {
+    client.open();
+    FAIL() << "expected NetProtocolError";
+  } catch (const NetProtocolError& e) {
+    EXPECT_EQ(e.code(), NetErrorCode::kSessionOpen);
+  }
+  // The protocol violation cost the connection — and the server must have
+  // reaped the session rather than leaking it.
+  EXPECT_TRUE(wait_until([&] { return svc->active_sessions() == 0; }));
+}
+
+TEST_F(NetServerTest, MalformedFramesGetTypedErrorsAndTheBootButServerServesOn) {
+  auto svc = make_service(make_config());
+  NetServer server(*svc);
+  server.start();
+
+  {  // Unknown frame type.
+    NetClient client = connect_to(server);
+    client.send_raw(std::vector<u8>{2, 0, 0, 0, 0x7E, 0x01});
+    const auto reply = client.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::kError);
+    EXPECT_EQ(decode_error(reply->body)->code, NetErrorCode::kUnknownType);
+    EXPECT_FALSE(client.read_frame().has_value());
+  }
+  {  // Truncated STEP body.
+    NetClient client = connect_to(server);
+    client.open();
+    client.send_raw(std::vector<u8>{3, 0, 0, 0,
+                                    static_cast<u8>(FrameType::kStep), 1, 2});
+    const auto reply = client.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(decode_error(reply->body)->code, NetErrorCode::kMalformed);
+    EXPECT_FALSE(client.read_frame().has_value());
+  }
+  {  // Oversized declared length.
+    NetClient client = connect_to(server);
+    client.send_raw(std::vector<u8>{0xFF, 0xFF, 0xFF, 0x7F});
+    const auto reply = client.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(decode_error(reply->body)->code, NetErrorCode::kFrameTooLarge);
+    EXPECT_FALSE(client.read_frame().has_value());
+  }
+
+  // No leaked sessions, and the server still serves new clients.
+  EXPECT_TRUE(wait_until([&] { return svc->active_sessions() == 0; }));
+  EXPECT_GE(svc->metrics().counter("net.errors.malformed").value(), 3u);
+  NetClient healthy = connect_to(server);
+  healthy.open();
+  EXPECT_GT(healthy.step(Camera({0, 0, 4}, 30)).visible_blocks, 0u);
+  healthy.close_session();
+}
+
+TEST_F(NetServerTest, AbruptDisconnectReapsTheSession) {
+  auto svc = make_service(make_config());
+  NetServer server(*svc);
+  server.start();
+  NetClient client = connect_to(server);
+  client.open();
+  client.step(Camera({0, 0, 4}, 30));
+  EXPECT_EQ(svc->active_sessions(), 1u);
+  client.disconnect();  // no CLOSE frame
+  EXPECT_TRUE(wait_until([&] { return svc->active_sessions() == 0; }));
+  EXPECT_TRUE(wait_until([&] { return server.active_connections() == 0; }));
+}
+
+TEST_F(NetServerTest, AdmissionRejectionIsATypedErrorNotAClosedSocket) {
+  ServiceConfig cfg = make_config();
+  cfg.max_sessions = 1;
+  auto svc = make_service(cfg);
+  NetServer server(*svc);
+  server.start();
+  NetClient a = connect_to(server);
+  NetClient b = connect_to(server);
+  a.open();
+  try {
+    b.open();
+    FAIL() << "expected NetProtocolError";
+  } catch (const NetProtocolError& e) {
+    EXPECT_EQ(e.code(), NetErrorCode::kRejected);
+  }
+  a.close_session();
+  // The rejected connection stayed open and can retry once a slot frees.
+  EXPECT_GT(b.open(), 0u);
+}
+
+TEST_F(NetServerTest, BadBlockIdIsATypedErrorAndTheConnectionSurvives) {
+  auto svc = make_service(make_config());
+  NetServer server(*svc);
+  server.start();
+  NetClient client = connect_to(server);
+  client.open();
+  const BlockId beyond =
+      static_cast<BlockId>(bench_->grid().block_count() + 10);
+  try {
+    client.fetch(beyond);
+    FAIL() << "expected NetProtocolError";
+  } catch (const NetProtocolError& e) {
+    EXPECT_EQ(e.code(), NetErrorCode::kBadBlock);
+  }
+  EXPECT_GT(client.step(Camera({0, 0, 4}, 30)).visible_blocks, 0u);
+  client.close_session();
+}
+
+TEST_F(NetServerTest, ConnectionCapRejectsWithTypedError) {
+  NetServerConfig net_cfg;
+  net_cfg.max_connections = 1;
+  auto svc = make_service(make_config());
+  NetServer server(*svc, net_cfg);
+  server.start();
+  NetClient a = connect_to(server);
+  a.open();  // forces the accept of `a` before `b` arrives
+  NetClient b = connect_to(server);
+  try {
+    b.open();
+    FAIL() << "expected NetProtocolError";
+  } catch (const NetProtocolError& e) {
+    EXPECT_EQ(e.code(), NetErrorCode::kOverloaded);
+  } catch (const IoError&) {
+    // Also acceptable: the rejection frame lost the race with the close.
+  }
+  EXPECT_EQ(svc->metrics().counter("net.connections.rejected").value(), 1u);
+  a.close_session();
+}
+
+TEST_F(NetServerTest, SlowClientIsDroppedByBackpressureOthersKeepServing) {
+  NetServerConfig net_cfg;
+  net_cfg.max_write_queue_bytes = 8 * 1024;  // below one block payload
+  net_cfg.write_stall_timeout_ms = 100;
+  net_cfg.so_sndbuf_bytes = 4 * 1024;
+  auto svc = make_service(make_config());
+  NetServer server(*svc, net_cfg);
+  server.start();
+
+  // A tiny client receive window keeps the kernel from absorbing the reply:
+  // without it, loopback buffering swallows whole block payloads and the
+  // server-side write queue never backs up.
+  NetClient slow;
+  slow.connect("127.0.0.1", server.port(), /*so_rcvbuf_bytes=*/2048);
+  slow.open();
+  // Ask for blocks but never read the replies: the responses outgrow the
+  // socket buffers and the server-side write queue, then stall.
+  slow.send_raw(encode_fetch(0));
+  slow.send_raw(encode_fetch(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  NetClient healthy = connect_to(server);
+  healthy.open();
+  EXPECT_TRUE(wait_until([&] {
+    (void)healthy.step(Camera({0, 0, 4}, 30));  // server keeps serving
+    return svc->metrics().counter("net.backpressure.closed").value() > 0;
+  }));
+  EXPECT_TRUE(wait_until([&] { return svc->active_sessions() == 1; }));
+  healthy.close_session();
+  server.stop();
+}
+
+TEST_F(NetServerTest, GracefulStopClosesEveryLiveSession) {
+  auto svc = make_service(make_config());
+  NetServer server(*svc);
+  server.start();
+  NetClient a = connect_to(server);
+  NetClient b = connect_to(server);
+  a.open();
+  b.open();
+  a.step(Camera({0, 0, 4}, 30));
+  EXPECT_EQ(svc->active_sessions(), 2u);
+  server.stop();
+  EXPECT_EQ(svc->active_sessions(), 0u);
+  EXPECT_EQ(server.active_connections(), 0u);
+  // Clients observe the shutdown as an error frame and/or EOF.
+  EXPECT_THROW(
+      {
+        a.step(Camera({0, 0, 4}, 30));
+        a.step(Camera({0, 0, 4}, 30));
+      },
+      VizError);
+}
+
+}  // namespace
+}  // namespace vizcache

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/workbench.hpp"
+#include "net/net_client.hpp"
+#include "net/net_server.hpp"
+#include "util/error.hpp"
+
+namespace vizcache {
+namespace {
+
+/// Connection churn + overlapping viewers + hostile clients, all at once,
+/// against one live server. Meant for the sanitizer presets: the invariant
+/// under test is "no data race, no leaked session, server still serving".
+TEST(NetStress, ChurningViewersHostileClientsAndAbruptDisconnects) {
+  WorkbenchSpec spec;
+  spec.dataset = DatasetId::kBall3d;
+  spec.scale = 0.08;
+  spec.target_blocks = 256;
+  spec.omega = {8, 16, 3, 2.5, 3.5};
+  Workbench bench(spec);
+
+  ServiceConfig cfg;
+  cfg.app_aware = true;
+  cfg.sigma_bits = bench.sigma_bits();
+  cfg.render_model = bench.spec().render_model;
+  cfg.lookup_cost = bench.spec().lookup_cost;
+  cfg.max_sessions = 32;
+  cfg.leader_pace_seconds = 0.001;  // widen the coalescing window
+  const BlockGrid* g = &bench.grid();
+  BlockService svc(bench.grid(),
+                   MemoryHierarchy::paper_testbed(
+                       bench.dataset_bytes(), bench.spec().cache_ratio,
+                       PolicyKind::kLru,
+                       [g](BlockId id) { return g->block_bytes(id); }),
+                   cfg, &bench.table(), &bench.importance());
+
+  NetServerConfig net_cfg;
+  net_cfg.workers = 4;
+  NetServer server(svc, net_cfg);
+  server.start();
+
+  constexpr usize kViewers = 6;
+  constexpr usize kChurns = 3;
+  constexpr usize kSteps = 4;
+  std::atomic<u64> steps_ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kViewers + 2);
+
+  // Same seed for every viewer: overlapping paths make the shared cache and
+  // the coalescer actually contend.
+  RandomPathSpec rp;
+  rp.step_min_deg = 4.0;
+  rp.step_max_deg = 6.0;
+  rp.positions = kSteps;
+  rp.seed = 7;
+  const CameraPath p = make_random_path(rp);
+
+  for (usize v = 0; v < kViewers; ++v) {
+    threads.emplace_back([&, v] {
+      for (usize churn = 0; churn < kChurns; ++churn) {
+        NetClient client;
+        client.connect("127.0.0.1", server.port());
+        client.open();
+        for (usize s = 0; s < kSteps; ++s) {
+          const SessionStepResult sr = client.step(p[s]);
+          if (sr.visible_blocks > 0) steps_ok.fetch_add(1);
+          (void)client.fetch(static_cast<BlockId>((v + s) % 8));
+        }
+        if ((v + churn) % 3 == 0) {
+          client.disconnect();  // abrupt: the server must reap the session
+        } else {
+          client.close_session();
+        }
+      }
+    });
+  }
+  // One hostile client per churn round: garbage frames, then vanish.
+  threads.emplace_back([&] {
+    for (usize i = 0; i < kChurns; ++i) {
+      NetClient hostile;
+      hostile.connect("127.0.0.1", server.port());
+      hostile.send_raw(std::vector<u8>{5, 0, 0, 0, 0x6B, 1, 2, 3, 4});
+      (void)hostile.read_frame();  // the typed error
+      hostile.disconnect();
+    }
+  });
+  // One impatient client that disconnects mid-request.
+  threads.emplace_back([&] {
+    for (usize i = 0; i < kChurns; ++i) {
+      NetClient impatient;
+      impatient.connect("127.0.0.1", server.port());
+      impatient.send_raw(encode_open());
+      impatient.send_raw(encode_step(p[0]));
+      impatient.disconnect();  // possibly while the step is in flight
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(steps_ok.load(), kViewers * kChurns * kSteps);
+  EXPECT_TRUE(server.running());
+
+  // Every session must be reaped once the disconnects settle.
+  for (int i = 0; i < 5000 && svc.active_sessions() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(svc.active_sessions(), 0u);
+  EXPECT_EQ(svc.hierarchy().coalescer().in_flight_count(), 0u);
+
+  server.stop();
+  EXPECT_EQ(server.active_connections(), 0u);
+  const u64 opened = svc.metrics().counter("service.sessions.opened").value();
+  const u64 closed = svc.metrics().counter("service.sessions.closed").value();
+  EXPECT_EQ(opened, closed);
+}
+
+}  // namespace
+}  // namespace vizcache

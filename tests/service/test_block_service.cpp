@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
+#include <set>
 
 #include "core/workbench.hpp"
 #include "util/error.hpp"
@@ -103,6 +105,79 @@ TEST_F(BlockServiceTest, SessionLifecycleAndStepAccounting) {
   EXPECT_EQ(svc->metrics().counter("service.demand.requests").value(), demand);
   EXPECT_EQ(svc->metrics().counter("service.sessions.opened").value(), 1u);
   EXPECT_EQ(svc->metrics().counter("service.sessions.closed").value(), 1u);
+}
+
+// Regression: the id counter is a u32, and open_session used to ignore the
+// emplace result — after the counter wrapped, a fresh session could silently
+// alias a still-open long-lived session's state. Live ids must be skipped.
+TEST_F(BlockServiceTest, SessionIdCounterWrapSkipsLiveSessions) {
+  auto svc = make_service(make_config());
+  const auto keeper = svc->open_session();  // long-lived session, id 1
+  ASSERT_TRUE(keeper.has_value());
+  EXPECT_EQ(*keeper, 1u);
+  svc->step(*keeper, path(1)[0]);
+
+  // Park the cursor at the end of the id space and drive it across the wrap:
+  // max-1, max, 0, then candidate 1 — which is live and must be skipped.
+  svc->set_next_session_id(std::numeric_limits<SessionId>::max() - 1);
+  std::set<SessionId> ids{*keeper};
+  for (int i = 0; i < 4; ++i) {
+    const auto id = svc->open_session();
+    ASSERT_TRUE(id.has_value());
+    EXPECT_TRUE(ids.insert(*id).second)
+        << "open_session handed out live id " << *id << " again";
+  }
+  EXPECT_EQ(svc->active_sessions(), 5u);
+
+  // The long-lived session's state survived the wrap untouched.
+  const SessionSummary sum = svc->close_session(*keeper);
+  EXPECT_EQ(sum.id, *keeper);
+  EXPECT_EQ(sum.steps, 1u);
+}
+
+// Regression: the preload scan used to walk the ENTIRE importance ranking
+// doing entropy lookups even after the remaining budget could not fit any
+// block; it must stop at the first index whose smallest remaining block is
+// bigger than the budget.
+TEST_F(BlockServiceTest, PreloadScanStopsWhenNoRemainingBlockFits) {
+  ServiceConfig cfg = make_config();
+  cfg.preload_important = true;
+  // A fast level far smaller than the above-sigma set, so the budget runs
+  // out early in the ranking.
+  BlockService svc(bench_->grid(), make_hierarchy(0.25), cfg, &bench_->table(),
+                   &bench_->importance());
+  const u64 scanned = svc.metrics().counter("service.preload.scanned").value();
+  const u64 preloaded = svc.metrics().counter("service.preload.blocks").value();
+
+  usize above_sigma = 0;
+  for (BlockId id : bench_->importance().ranked()) {
+    if (bench_->importance().entropy(id) > bench_->sigma_bits()) ++above_sigma;
+  }
+  ASSERT_GT(above_sigma, 0u);
+  EXPECT_GT(preloaded, 0u);
+  EXPECT_GT(scanned, 0u);
+  EXPECT_GE(scanned, preloaded);
+  // The early exit is the point: strictly fewer candidates visited than the
+  // whole above-sigma ranking the old loop walked.
+  EXPECT_LT(scanned, above_sigma);
+}
+
+TEST_F(BlockServiceTest, FetchBlockCountsIntoSessionSummary) {
+  auto svc = make_service(make_config());
+  const auto id = svc->open_session();
+  ASSERT_TRUE(id.has_value());
+  const BlockService::BlockFetch miss = svc->fetch_block(*id, 0);
+  EXPECT_FALSE(miss.fetch.fast_hit);
+  EXPECT_EQ(miss.bytes, bench_->grid().block_bytes(0));
+  const BlockService::BlockFetch hit = svc->fetch_block(*id, 0);
+  EXPECT_TRUE(hit.fetch.fast_hit);
+  EXPECT_THROW(svc->fetch_block(*id, static_cast<BlockId>(
+                                          bench_->grid().block_count())),
+               InvalidArgument);
+  const SessionSummary sum = svc->close_session(*id);
+  EXPECT_EQ(sum.demand_requests, 2u);
+  EXPECT_EQ(sum.fast_misses, 1u);
+  EXPECT_EQ(sum.steps, 0u);
 }
 
 TEST_F(BlockServiceTest, StepOrCloseOfUnknownSessionThrows) {

@@ -110,7 +110,10 @@ TEST(SharedHierarchy, WaiterIsServedFromCacheAfterLeaderCompletes) {
 }
 
 // If the leader fails to land the block (completes without inserting), the
-// waiter claims the read itself instead of spinning or wedging.
+// waiter claims the read itself instead of spinning or wedging — and having
+// paid a full backing read, it must NOT be reported as a coalesced hit
+// (regression: the wait used to set `coalesced` unconditionally, so these
+// self-served reads over-counted coalesced_hits).
 TEST(SharedHierarchy, WaiterRetriesWhenLeaderLandsNothing) {
   SharedHierarchy sh(make_two_level(2, 4));
   const u64 e = sh.begin_step();
@@ -122,10 +125,38 @@ TEST(SharedHierarchy, WaiterRetriesWhenLeaderLandsNothing) {
   }
   sh.coalescer().complete(7);  // leader vanishes without caching the block
   waiter.join();
-  EXPECT_TRUE(fr.coalesced);
+  EXPECT_FALSE(fr.coalesced);  // waited, but the wait did not serve it
   EXPECT_FALSE(fr.fast_hit);
   EXPECT_EQ(sh.stats().backing_reads(), 1u);  // the waiter's own read
   EXPECT_EQ(sh.coalescer().in_flight_count(), 0u);
+  sh.end_step(e);
+}
+
+// Same eviction race driven end to end: the leader lands the block but a
+// sliver of DRAM lets it get evicted before the waiter re-probes (simulated
+// by preloading a competing block after completion on a one-block fast
+// level). The waiter pays its own backing read — not a coalesced hit.
+TEST(SharedHierarchy, WaiterServedByLeaderIsCoalescedExactlyOnce) {
+  SharedHierarchy sh(make_two_level(2, 8));
+  const u64 e = sh.begin_step();
+  ASSERT_TRUE(sh.coalescer().try_claim(7));
+  SharedHierarchy::FetchResult fr;
+  std::thread waiter([&] { fr = sh.fetch(7, e); });
+  while (sh.coalescer().stats().coalesced_waits == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sh.preload(7);  // the leader's read lands before the waiter wakes
+  sh.coalescer().complete(7);
+  waiter.join();
+  // The wait is what served this fetch: exactly one coalesced hit, no read.
+  EXPECT_TRUE(fr.coalesced);
+  EXPECT_TRUE(fr.fast_hit);
+  EXPECT_EQ(sh.stats().backing_reads(), 0u);
+  // A later fetch of the now-resident block is a plain fast hit, not another
+  // coalesced one: the waited flag must not leak across calls.
+  const SharedHierarchy::FetchResult again = sh.fetch(7, e);
+  EXPECT_TRUE(again.fast_hit);
+  EXPECT_FALSE(again.coalesced);
   sh.end_step(e);
 }
 

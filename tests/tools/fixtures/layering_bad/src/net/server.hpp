@@ -1,0 +1,3 @@
+#pragma once
+
+inline int fixture_net_server() { return 7; }

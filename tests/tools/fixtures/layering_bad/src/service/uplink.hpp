@@ -1,0 +1,4 @@
+#pragma once
+#include "net/server.hpp"
+
+inline int service_uplink() { return fixture_net_server(); }

@@ -1,0 +1,4 @@
+#pragma once
+#include "service/svc.hpp"
+
+inline int net_frontend() { return fixture_service(); }

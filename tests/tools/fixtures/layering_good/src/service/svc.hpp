@@ -1,0 +1,3 @@
+#pragma once
+
+inline int fixture_service() { return 9; }

@@ -2,7 +2,7 @@
 
 The repo's dependency order (DESIGN.md §3) is a hard DAG:
 
-    util -> geom -> volume -> storage -> render -> core -> service
+    util -> geom -> volume -> storage -> render -> core -> service -> net
 
 with the top-level trees (bench/, examples/, tests/) above every library
 layer. A file may include its own layer and any layer *below* it; an
@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 
 from cpptok import SourceCache, iter_source_files
 
-LAYERS = ["util", "geom", "volume", "storage", "render", "core", "service"]
+LAYERS = ["util", "geom", "volume", "storage", "render", "core", "service",
+          "net"]
 TOP_TREES = ("bench", "examples", "tests")
 TOP_RANK = len(LAYERS)
 

@@ -17,6 +17,13 @@ multi_user_demo): the `service.*` instruments must be present and, because
 those runs drive overlapping sessions, the coalesced-read counters must be
 non-zero (overlapping sessions that never coalesced a read is a bug).
 
+`--net` validates a NetServer snapshot (bench_net): the `net.*` instruments
+must be present, the scenario counters (malformed frames, backpressure
+drops, coalesced reads) must be non-zero because the bench stages those
+scenarios deterministically, and the active-connection / active-session
+gauges must have returned to zero (a leaked connection or session is a
+bug).
+
 Exit status 0 when the snapshot is complete, 1 otherwise, 2 on usage errors.
 """
 
@@ -86,6 +93,58 @@ SERVICE_NONZERO_COUNTERS = [
     "service.hierarchy.coalescer.coalesced_waits",
 ]
 
+# Instruments a NetServer run must export (bench_net). The bench stages the
+# hostile scenarios deterministically, so the scenario counters must have
+# actually fired — a zero means the scenario silently stopped exercising the
+# path it exists to cover.
+NET_REQUIRED_COUNTERS = [
+    "net.connections.accepted",
+    "net.connections.closed",
+    "net.connections.rejected",
+    "net.frames.received",
+    "net.frames.sent",
+    "net.bytes.read",
+    "net.bytes.written",
+    "net.errors.malformed",
+    "net.backpressure.closed",
+]
+NET_NONZERO_COUNTERS = [
+    "net.connections.accepted",
+    "net.frames.received",
+    "net.frames.sent",
+    "net.errors.malformed",
+    "net.backpressure.closed",
+    "service.demand.coalesced_hits",
+]
+# After a clean shutdown nothing may still be live.
+NET_ZERO_GAUGES = [
+    "net.connections.active",
+    "service.sessions.active",
+]
+
+
+def check_net(snapshot: dict) -> list[str]:
+    problems: list[str] = []
+    counters = snapshot["counters"]
+    for name in NET_REQUIRED_COUNTERS:
+        if name not in counters:
+            problems.append(f"missing counter: {name}")
+    for name in NET_NONZERO_COUNTERS:
+        if counters.get(name) == 0:
+            problems.append(f"net run but counter is zero: {name}")
+    for name in NET_ZERO_GAUGES:
+        value = snapshot["gauges"].get(name)
+        if value is None:
+            problems.append(f"missing gauge: {name}")
+        elif value != 0:
+            problems.append(f"leaked after shutdown: {name} = {value}")
+    accepted = counters.get("net.connections.accepted")
+    closed = counters.get("net.connections.closed")
+    if accepted is not None and closed is not None and accepted != closed:
+        problems.append(
+            f"connection leak: {accepted} accepted vs {closed} closed")
+    return problems
+
 
 def check_service(snapshot: dict) -> list[str]:
     problems: list[str] = []
@@ -115,7 +174,8 @@ def check_service(snapshot: dict) -> list[str]:
     return problems
 
 
-def check(snapshot: dict, app_aware: bool, service: bool) -> list[str]:
+def check(snapshot: dict, app_aware: bool, service: bool,
+          net: bool = False) -> list[str]:
     problems: list[str] = []
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(snapshot.get(section), dict):
@@ -123,6 +183,8 @@ def check(snapshot: dict, app_aware: bool, service: bool) -> list[str]:
     if problems:
         return problems
 
+    if net:
+        return check_net(snapshot)
     if service:
         return check_service(snapshot)
 
@@ -164,9 +226,16 @@ def main(argv: list[str]) -> int:
         help="validate a BlockService snapshot (service.* instruments, "
         "non-zero coalesced-read counters)",
     )
+    parser.add_argument(
+        "--net",
+        action="store_true",
+        help="validate a NetServer snapshot (net.* instruments, non-zero "
+        "scenario counters, gauges back at zero)",
+    )
     args = parser.parse_args(argv)
-    if args.app_aware and args.service:
-        parser.error("--app-aware and --service are mutually exclusive")
+    if sum([args.app_aware, args.service, args.net]) > 1:
+        parser.error("--app-aware, --service and --net are mutually "
+                     "exclusive")
 
     try:
         with open(args.snapshot, encoding="utf-8") as f:
@@ -176,7 +245,8 @@ def main(argv: list[str]) -> int:
               file=sys.stderr)
         return 1
 
-    problems = check(snapshot, args.app_aware, args.service)
+    problems = check(snapshot, args.app_aware, args.service,
+                     args.net)
     for p in problems:
         print(f"check_metrics_snapshot: {args.snapshot}: {p}", file=sys.stderr)
     if not problems:
