@@ -181,13 +181,15 @@ void NetServer::accept_ready() {
       return;  // EAGAIN or a transient accept error: wait for the next event
     }
     if (stopping_.load() || conns_.size() >= config_.max_connections) {
+      // Count before the frame leaves: a client that has observed the
+      // rejection (error frame or the close) must also observe the counter.
+      ins_.rejected->inc();
       const std::vector<u8> err =
           encode_error(stopping_.load() ? NetErrorCode::kShutdown
                                         : NetErrorCode::kOverloaded,
                        "server not accepting connections");
       (void)::send(fd, err.data(), err.size(), MSG_NOSIGNAL);
       ::close(fd);
-      ins_.rejected->inc();
       continue;
     }
     int one = 1;

@@ -1,0 +1,42 @@
+#include "util/defer.hpp"
+
+#include <string>
+#include <utility>
+
+namespace fix {
+
+void consume(std::string s);
+
+void Runner::enqueue(ThreadPool::Task t) { pool_.submit(std::move(t)); }
+
+void Runner::go() {
+  int local = 0;
+  int* p = &counter_;
+  pool_.submit([this] { counter_++; });
+  pool_.submit([&local] { local++; });
+  pool_.submit([&] { counter_ = local; });
+  enqueue([&local] { local++; });
+  pool_.submit([p] { *p = 1; });
+}
+
+void Runner::spawn() {
+  worker_ = std::thread([this] { go(); });
+}
+
+std::string_view Runner::bad_view() {
+  std::string s = "tmp";
+  return s;
+}
+
+const std::string& Runner::bad_ref() {
+  std::string s = "tmp";
+  return s;
+}
+
+int Runner::use_after() {
+  std::string s = "x";
+  consume(std::move(s));
+  return static_cast<int>(s.size());
+}
+
+}  // namespace fix

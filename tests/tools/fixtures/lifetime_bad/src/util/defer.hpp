@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace fix {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+  void submit(Task t);
+  void shutdown();
+};
+
+class Runner {
+ public:
+  void go();
+  void spawn();
+  void enqueue(ThreadPool::Task t);
+  std::string_view bad_view();
+  const std::string& bad_ref();
+  int use_after();
+
+ private:
+  ThreadPool pool_;
+  std::thread worker_;
+  int counter_ = 0;
+};
+
+class Labeled {
+ public:
+  explicit Labeled(std::string name) : view_(name) {}
+
+ private:
+  std::string_view view_;
+};
+
+}  // namespace fix

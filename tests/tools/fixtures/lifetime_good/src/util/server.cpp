@@ -1,0 +1,48 @@
+#include "util/server.hpp"
+
+#include <utility>
+
+namespace fix {
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (loop_.joinable()) loop_.join();
+  pool_.shutdown();
+}
+
+void Server::start() {
+  loop_ = std::thread([this] { run(); });
+  pool_.submit([this] { run(); });
+}
+
+void Server::run() {
+  int frame = 0;
+  pool_.submit([frame] { (void)frame; });
+}
+
+// a pointer capture that outlives the frame needs a written reason
+void Server::flush(std::string* out) {
+  // analyze: allow(escaping-ref-capture): the caller joins the pool via
+  // stop() before 'out' leaves scope in every call path (frame barrier).
+  pool_.submit([out] { out->clear(); });
+}
+
+void Server::reuse() {
+  std::string s = "a";
+  name_ = std::move(s);
+  s = "b";
+  (void)s.size();
+}
+
+void Server::sync_work() {
+  std::thread t([this] { run(); });
+  t.join();
+}
+
+void Prefetcher::request() {
+  int id = 7;
+  pool_.submit([this, id] { counter_ += id; });
+}
+
+}  // namespace fix

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace fix {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+  void submit(Task t);
+  void shutdown();
+};
+
+// join-in-destructor pattern (b): the destructor transitively joins the
+// loop thread and shuts the pool down before any sibling state dies.
+class Server {
+ public:
+  ~Server();
+  void start();
+  void stop();
+  void run();
+  void flush(std::string* out);
+  void reuse();
+  void sync_work();
+  std::string_view name() const { return name_; }
+
+ private:
+  std::thread loop_;
+  std::string name_;
+  ThreadPool pool_;
+};
+
+// join-in-destructor pattern (a): the pool is the last-declared field,
+// so its own destructor joins the workers before any sibling dies.
+class Prefetcher {
+ public:
+  void request();
+
+ private:
+  int counter_ = 0;
+  ThreadPool pool_;
+};
+
+// binding a view field from a view parameter is the sanctioned pattern:
+// the caller owns the bytes, the ctor never sees a temporary owner
+class Wire {
+ public:
+  explicit Wire(std::string_view bytes) : bytes_(bytes) {}
+
+ private:
+  std::string_view bytes_;
+};
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace fix {
+
+// analyze: allow(use-after-move): nothing here moves anything anymore
+inline int answer() { return 42; }
+
+}  // namespace fix

@@ -1,0 +1,9 @@
+#include <string>
+
+namespace fix {
+
+void register_all(Registry& reg) {
+  reg.counter("bogus.name");
+}
+
+}  // namespace fix

@@ -271,11 +271,11 @@ class SourceCacheTest(unittest.TestCase):
         self.assertEqual(cache.reads, 1)
 
     def test_driver_reads_each_file_once(self):
-        # Four passes share one cache: the OK line counts physical reads,
+        # Five passes share one cache: the OK line counts physical reads,
         # which must equal the file count, not a multiple of it.
         proc = analyze_fixture("locks_good")
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
-        self.assertIn("(3 files, 0 suppression(s), 3 file reads)",
+        self.assertIn("(3 files, 0 suppression(s), 3 file reads; passes:",
                       proc.stderr)
 
 
@@ -312,6 +312,147 @@ class DriverTest(unittest.TestCase):
                               cwd=REPO, capture_output=True, text=True)
         self.assertEqual(proc.returncode, 0,
                          proc.stdout + proc.stderr)
+
+
+class LifetimeTest(unittest.TestCase):
+    """The lifetime pass: every seeded defect fires on its line, and every
+    sanctioned pattern in the clean twin is proven exempt."""
+
+    def test_seeded_lifetime_violations(self):
+        proc = analyze_fixture("lifetime_bad")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertEqual(findings_of(proc), {
+            # direct sink: this / named ref / default-ref / raw pointer
+            ("src/util/defer.cpp", 15, "escaping-ref-capture"),
+            ("src/util/defer.cpp", 16, "escaping-ref-capture"),
+            ("src/util/defer.cpp", 17, "escaping-ref-capture"),
+            # transitive sink: enqueue() forwards into ThreadPool::submit
+            ("src/util/defer.cpp", 18, "escaping-ref-capture"),
+            ("src/util/defer.cpp", 19, "escaping-ref-capture"),
+            # std::thread assigned to a field with no join proof
+            ("src/util/defer.cpp", 23, "escaping-ref-capture"),
+            ("src/util/defer.cpp", 28, "dangling-return"),
+            ("src/util/defer.cpp", 33, "dangling-return"),
+            ("src/util/defer.cpp", 39, "use-after-move"),
+            ("src/util/defer.hpp", 34, "view-field"),
+        })
+
+    def test_transitive_sink_is_named_in_message(self):
+        proc = analyze_fixture("lifetime_bad")
+        wrapped = [l for l in proc.stdout.splitlines()
+                   if l.startswith("src/util/defer.cpp:18:")]
+        self.assertEqual(len(wrapped), 1, proc.stdout)
+        self.assertIn("Runner::enqueue", wrapped[0])
+        self.assertIn("ThreadPool::submit", wrapped[0])
+
+    def test_join_in_destructor_patterns_are_exempt(self):
+        # lifetime_good holds: dtor->stop()->join/shutdown (proof b),
+        # pool declared last (proof a), a joined local thread, value
+        # captures, move-then-reassign, and one justified allow.
+        proc = analyze_fixture("lifetime_good")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("1 suppression(s)", proc.stderr)
+
+    def test_stale_lifetime_allow_is_flagged(self):
+        proc = analyze_fixture("lifetime_suppress_stale")
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(findings_of(proc), {
+            ("src/util/noop.hpp", 5, "stale-suppression"),
+        })
+
+
+class SarifFormatTest(unittest.TestCase):
+    def _load(self, proc):
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        doc = json.loads(proc.stdout)
+        self.assertEqual(doc["version"], "2.1.0")
+        return doc["runs"][0]
+
+    def test_findings_become_sarif_results(self):
+        run = self._load(analyze_fixture("lifetime_bad",
+                                         "--format", "sarif"))
+        self.assertEqual(run["tool"]["driver"]["name"], "vizcache-analyze")
+        results = run["results"]
+        self.assertEqual(len(results), 10)
+        by_rule = {}
+        for r in results:
+            by_rule.setdefault(r["ruleId"], []).append(r)
+            self.assertEqual(r["level"], "error")
+            loc = r["locations"][0]["physicalLocation"]
+            self.assertTrue(loc["artifactLocation"]["uri"]
+                            .startswith("src/util/defer."))
+            self.assertGreater(loc["region"]["startLine"], 0)
+        self.assertEqual(set(by_rule), {"escaping-ref-capture",
+                                        "dangling-return",
+                                        "use-after-move", "view-field"})
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        self.assertEqual(rule_ids, set(by_rule))
+
+    def test_suppressed_findings_are_marked_in_source(self):
+        # --sarif FILE alongside the normal text output
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "out.sarif")
+            proc = analyze_fixture("lifetime_good", "--sarif", out)
+            self.assertEqual(proc.returncode, 0,
+                             proc.stdout + proc.stderr)
+            with open(out, encoding="utf-8") as f:
+                run = json.load(f)["runs"][0]
+        suppressed = [r for r in run["results"] if r.get("suppressions")]
+        self.assertEqual(len(suppressed), 1)
+        self.assertEqual(suppressed[0]["ruleId"], "escaping-ref-capture")
+        self.assertEqual(suppressed[0]["level"], "warning")
+        self.assertEqual(suppressed[0]["suppressions"][0]["kind"],
+                         "inSource")
+
+
+class ParallelDriverTest(unittest.TestCase):
+    def test_jobs_matches_serial_findings(self):
+        serial = analyze_fixture("lifetime_bad", "--format", "json")
+        parallel = analyze_fixture("lifetime_bad", "--format", "json",
+                                   "--jobs", "4")
+        self.assertEqual(parallel.returncode, serial.returncode)
+        self.assertEqual(json.loads(parallel.stdout),
+                         json.loads(serial.stdout))
+
+    def test_jobs_reads_each_file_once(self):
+        # the prewarm step must keep the shared cache single-read even
+        # when passes run concurrently
+        proc = analyze_fixture("locks_good", "--jobs", "4")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("3 file reads; passes:", proc.stderr)
+
+    def test_invalid_jobs_is_a_tool_error(self):
+        proc = analyze_fixture("locks_good", "--jobs", "0")
+        self.assertEqual(proc.returncode, 2)
+
+
+class MetricsContractTest(unittest.TestCase):
+    TOOL = [sys.executable,
+            os.path.join(REPO, "tools", "check_metrics_contract.py")]
+
+    def test_real_tree_is_in_sync(self):
+        proc = subprocess.run(self.TOOL, capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("in sync with the snapshot contract", proc.stdout)
+
+    def test_drift_fixture_fails_both_directions(self):
+        proc = subprocess.run(
+            self.TOOL + ["--root",
+                         os.path.join(FIXTURES, "metrics_contract_drift")],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        # direction 2: registered but never asserted
+        self.assertIn("'bogus.name' is registered", proc.stderr)
+        # direction 1: asserted but no longer registered
+        self.assertIn("is asserted by check_metrics_snapshot.py but "
+                      "never registered", proc.stderr)
+        # direction 3: the escape hatch itself goes stale
+        self.assertIn("matches no registration", proc.stderr)
+
+    def test_missing_tree_is_a_tool_error(self):
+        proc = subprocess.run(self.TOOL + ["--src", "no_such_dir"],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2)
 
 
 class LintTokenizerTest(unittest.TestCase):

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Architecture analyzer driver: include layering, interprocedural lock
-checks, lock-order deadlock detection, and hot-path discipline.
+checks, lock-order deadlock detection, hot-path discipline, and
+lifetime/capture-escape analysis.
 
 Usage:
-    tools/analyze/analyze.py [paths...] [--root DIR] [--format text|json]
+    tools/analyze/analyze.py [paths...] [--root DIR]
+                             [--format text|json|sarif] [--sarif FILE]
+                             [--jobs N]
                              [--dot FILE] [--json FILE]
                              [--call-dot FILE] [--call-json FILE]
                              [--lock-order-dot FILE] [--lock-order-json FILE]
@@ -38,12 +41,15 @@ import json
 import os
 import re
 import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import call_graph as cgm  # noqa: E402
 import hot_path as hp  # noqa: E402
 import include_graph as ig  # noqa: E402
+import lifetime as lt  # noqa: E402
 import lock_graph as lg  # noqa: E402
 from cpptok import SourceCache, iter_source_files  # noqa: E402
 from include_graph import Finding  # noqa: E402
@@ -167,6 +173,92 @@ def findings_json(findings: list[Finding], suppressed: list[Finding],
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+# One-line rule metadata for SARIF consumers (code-scanning UI). Checks
+# missing from this table still export — the id doubles as the text.
+RULE_DESCRIPTIONS = {
+    "include-layering": "Include points upward against the layer DAG",
+    "include-unresolved": "Quote-include cannot be resolved",
+    "include-cycle": "Include cycle between files",
+    "lock-held-call": "Lock-acquiring call while a Mutex is held "
+                      "(leaf-lock rule)",
+    "lock-blocking": "Blocking work (I/O, sleep, join) under a Mutex",
+    "lock-foreign-wait": "CondVar::wait on a mutex other than the held one",
+    "lock-unguarded-field": "Field of a Mutex-owning class without "
+                            "GUARDED_BY",
+    "lock-order-cycle": "Potential deadlock: cycle in the lock-order graph",
+    "hot-path-alloc": "Heap allocation on a registered hot path",
+    "hot-path-io": "Console or file I/O on a registered hot path",
+    "hot-path-throw": "throw on a registered hot path",
+    "hot-path-block": "Blocking primitive on a registered hot path",
+    "hot-path-missing-entry": "Hot-path registry entry matches no function",
+    "escaping-ref-capture": "By-ref/this/raw-pointer capture escapes into "
+                            "a deferred-execution sink",
+    "dangling-return": "Reference/pointer/view returned to an owning "
+                       "local or by-value parameter",
+    "use-after-move": "Object read after being std::move'd",
+    "view-field": "string_view/span member bound to a temporary in a "
+                  "ctor init-list",
+    "bad-suppression": "analyze: allow(...) without a justification",
+    "stale-suppression": "analyze: allow(...) that matches no finding",
+}
+
+
+def sarif_json(findings: list[Finding], suppressed: list[Finding]) -> str:
+    """SARIF 2.1.0 for github/codeql-action/upload-sarif: active findings
+    at level error (CI gates on them), suppressed ones carry an inSource
+    suppression so code scanning shows them as dismissed."""
+    rule_ids = sorted({f.check for f in findings}
+                      | {f.check for f in suppressed})
+    rules = [
+        {"id": rid,
+         "shortDescription": {"text": RULE_DESCRIPTIONS.get(rid, rid)}}
+        for rid in rule_ids
+    ]
+
+    def encode(f: Finding, is_suppressed: bool) -> dict:
+        r = {
+            "ruleId": f.check,
+            "level": "warning" if is_suppressed else "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": max(1, int(f.line or 1))},
+                },
+            }],
+        }
+        if f.chain:
+            r["properties"] = {"chain": list(f.chain)}
+        if is_suppressed:
+            r["suppressions"] = [{"kind": "inSource"}]
+        return r
+
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": "vizcache-analyze", "rules": rules}},
+            "results": ([encode(f, False) for f in findings]
+                        + [encode(f, True) for f in suppressed]),
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _prewarm(root: str, rel_roots: list[str], exclude: tuple[str, ...],
+             cache: SourceCache) -> None:
+    """Read + tokenize every in-scope file up front, on one thread.
+    SourceCache is not synchronized; after this the concurrent passes only
+    perform dict reads on it."""
+    abs_roots = [os.path.join(root, r) for r in rel_roots]
+    for path in iter_source_files(abs_roots):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if any(rel == e or rel.startswith(e + "/") for e in exclude):
+            continue
+        cache.tokens(path)
+        cache.lines(path)
+
+
 def run(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(
         prog="analyze.py",
@@ -177,8 +269,16 @@ def run(argv: list[str]) -> int:
                          f"(default: {' '.join(DEFAULT_ROOTS)})")
     ap.add_argument("--root", default=".",
                     help="repository root (default: cwd)")
-    ap.add_argument("--format", choices=("text", "json"), default="text",
+    ap.add_argument("--format", choices=("text", "json", "sarif"),
+                    default="text",
                     help="findings output format (default: text)")
+    ap.add_argument("--sarif", dest="sarif_out",
+                    help="additionally write findings as SARIF 2.1.0 to "
+                         "FILE (CI uploads this to code scanning)")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="run the independent analysis passes on N "
+                         "threads over the shared SourceCache "
+                         "(default: 1)")
     ap.add_argument("--dot", help="write the include graph as DOT")
     ap.add_argument("--json", dest="json_out",
                     help="write include graph + findings as JSON")
@@ -201,20 +301,8 @@ def run(argv: list[str]) -> int:
     for r in rel_roots:
         if not os.path.isdir(os.path.join(root, r)):
             raise ToolError(f"no such tree: {os.path.join(root, r)}")
-
-    cache = SourceCache()
-    graph = ig.build_graph(root, rel_roots, exclude=DEFAULT_EXCLUDE,
-                           cache=cache)
-    findings = ig.check_layering(graph)
-    findings += ig.find_cycles(graph)
-
-    model = lg.build_model(root, rel_roots, exclude=DEFAULT_EXCLUDE,
-                           cache=cache)
-    cg = cgm.build_call_graph(model)
-    order = cgm.LockOrderGraph()
-    findings += lg.check_lock_graph(model, cg, order)
-    lock_order_findings = cgm.check_lock_order(order)
-    findings += lock_order_findings
+    if args.jobs < 1:
+        raise ToolError("--jobs must be >= 1")
 
     try:
         registry = hp.load_registry(args.hot_registry)
@@ -223,12 +311,77 @@ def run(argv: list[str]) -> int:
     anchor = (os.path.relpath(os.path.abspath(args.hot_registry),
                               root).replace(os.sep, "/")
               if args.hot_registry else "tools/analyze/hot_path.py")
-    findings += hp.check_hot_paths(model, cg, registry, anchor)
 
-    suppressions, supp_findings = collect_suppressions(
-        root, rel_roots, DEFAULT_EXCLUDE, cache=cache)
+    # Shared substrate, built once on one thread: file cache, class/body
+    # model, call graph. The passes below only read these.
+    cache = SourceCache()
+    timings: list[tuple[str, float]] = []
+    t0 = time.monotonic()
+    _prewarm(root, rel_roots, DEFAULT_EXCLUDE, cache)
+    model = lg.build_model(root, rel_roots, exclude=DEFAULT_EXCLUDE,
+                           cache=cache)
+    cg = cgm.build_call_graph(model)
+    timings.append(("parse", time.monotonic() - t0))
+
+    order = cgm.LockOrderGraph()
+    boxes: dict[str, object] = {}
+
+    def pass_include() -> list[Finding]:
+        graph = ig.build_graph(root, rel_roots, exclude=DEFAULT_EXCLUDE,
+                               cache=cache)
+        boxes["graph"] = graph
+        return ig.check_layering(graph) + ig.find_cycles(graph)
+
+    def pass_locks() -> list[Finding]:
+        # lock checks populate `order`; the cycle scan must follow them,
+        # so the two stay one pass unit.
+        out = lg.check_lock_graph(model, cg, order)
+        lock_order_findings = cgm.check_lock_order(order)
+        boxes["lock_order_findings"] = lock_order_findings
+        return out + lock_order_findings
+
+    def pass_hot() -> list[Finding]:
+        return hp.check_hot_paths(model, cg, registry, anchor)
+
+    def pass_lifetime() -> list[Finding]:
+        return lt.check_lifetime(model, cg)
+
+    def pass_suppress() -> list[Finding]:
+        suppressions, supp_findings = collect_suppressions(
+            root, rel_roots, DEFAULT_EXCLUDE, cache=cache)
+        boxes["suppressions"] = suppressions
+        return supp_findings
+
+    passes = [("include", pass_include), ("locks", pass_locks),
+              ("hot", pass_hot), ("lifetime", pass_lifetime),
+              ("suppress", pass_suppress)]
+
+    def timed(fn):
+        start = time.monotonic()
+        result = fn()
+        return result, time.monotonic() - start
+
+    results: dict[str, list[Finding]] = {}
+    if args.jobs > 1:
+        with ThreadPoolExecutor(max_workers=args.jobs) as ex:
+            futures = [(name, ex.submit(timed, fn)) for name, fn in passes]
+            for name, fut in futures:
+                result, dt = fut.result()
+                results[name] = result
+                timings.append((name, dt))
+    else:
+        for name, fn in passes:
+            result, dt = timed(fn)
+            results[name] = result
+            timings.append((name, dt))
+
+    graph = boxes["graph"]
+    lock_order_findings = boxes["lock_order_findings"]
+    suppressions = boxes["suppressions"]
+    findings = (results["include"] + results["locks"] + results["hot"]
+                + results["lifetime"])
     findings, suppressed = apply_suppressions(findings, suppressions)
-    findings += supp_findings
+    findings += results["suppress"]
     findings += stale_suppressions(suppressions)
 
     baseline = load_baseline(args.baseline)
@@ -256,10 +409,16 @@ def run(argv: list[str]) -> int:
         with open(args.lock_order_json, "w", encoding="utf-8") as f:
             f.write(cgm.lock_order_json(order, lock_order_findings))
 
+    if args.sarif_out:
+        with open(args.sarif_out, "w", encoding="utf-8") as f:
+            f.write(sarif_json(findings, suppressed))
+
     nfiles = len(graph)
     if args.format == "json":
         sys.stdout.write(findings_json(findings, suppressed, suppressions,
                                        nfiles))
+    elif args.format == "sarif":
+        sys.stdout.write(sarif_json(findings, suppressed))
     else:
         for f in findings:
             print(f"{f.path}:{f.line}: [{f.check}] {f.message}")
@@ -267,8 +426,10 @@ def run(argv: list[str]) -> int:
         print(f"analyze: {len(findings)} finding(s) across {nfiles} files",
               file=sys.stderr)
         return 1
+    pass_times = " ".join(f"{name} {dt:.2f}s" for name, dt in timings)
     print(f"analyze: OK ({nfiles} files, {len(suppressions)} "
-          f"suppression(s), {cache.reads} file reads)", file=sys.stderr)
+          f"suppression(s), {cache.reads} file reads; passes: "
+          f"{pass_times})", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,1070 @@
+"""Lifetime & capture-escape analysis for deferred execution.
+
+The lock passes verify *synchronization*; this pass verifies *lifetimes* —
+the other half of the concurrency contract now that lambdas routinely
+outlive the stack frame that created them (ThreadPool workers, the epoll
+NetServer's completion queue, detached std::thread loops). Four checks,
+all scoped to function bodies under src/ (bench/examples/tests join their
+threads locally and are policed by review, not this pass):
+
+  escaping-ref-capture  a lambda reaching a *deferred-execution sink*
+                        captures by reference, captures a raw pointer, or
+                        captures `this` — state that can die before the
+                        task runs.  Sinks are a registry (ThreadPool::
+                        submit, CompletionQueue::push), `std::thread`
+                        construction, and assignment into a std::function
+                        -typed field; wrappers that forward a callable
+                        parameter into a sink become sinks transitively
+                        via the call graph.
+  dangling-return       a function whose return type is a reference,
+                        pointer, string_view, or span returns an owning
+                        local or by-value owning parameter.
+  use-after-move        a local (or exact member path) is std::move'd and
+                        then read later in the same body, with no
+                        intervening reassignment / clear() / reset() /
+                        assign() / swap().
+  view-field            a string_view/span member is initialized in a
+                        constructor init-list from a by-value owning
+                        parameter or an owning temporary.
+
+The join-in-destructor exemption (the one sanctioned way to capture
+`this` or a member by reference at a sink): the receiver is a field of
+the enclosing class whose type owns threads (ThreadPool / std::thread)
+and either (a) it is the *last-declared* field, so its destructor — which
+joins — runs before any other member dies (AsyncPrefetcher's pattern), or
+(b) the class destructor transitively reaches a join()/shutdown()/
+wait_idle() call on that field through the call graph (NetServer's
+dtor -> stop() -> loop_thread_.join() + pool_->shutdown()).  A sink that
+is a method of the enclosing class itself (bare submit/push) is exempt
+when the class's own destructor reaches a join-shaped call.  The
+exemption NEVER covers references to locals or parameters — no join
+protocol can extend a dead stack frame.
+
+Documented approximations (DESIGN.md "Architecture analysis"):
+
+  over-approx   * wrapper sink propagation ignores which argument the
+                  callable lands in; any forward of a callable parameter
+                  into a sink marks the wrapper.
+                * use-after-move is branch-insensitive: a move in one
+                  branch and a read in the other is still flagged.
+                * `[=]` in a member function is treated as an implicit
+                  `this` capture when the lambda body names a field.
+  under-approx  * ThreadPool::parallel_for is NOT a sink: it blocks until
+                  every chunk ran, so `[&]` row lambdas are safe by
+                  construction.
+                * callables escaping through containers or shared_ptr
+                  factories (make_shared<State>(..., fn)) are not tracked.
+                * use-after-move misses reads that precede the move
+                  lexically but follow it dynamically (loops), and moves
+                  through opaque call wrappers.
+                * dangling-return only knows the owning types listed
+                  below; a ref to a primitive local is not flagged.
+                * a sink whose receiver is a *local* pool is exempt (its
+                  destructor joins at end of scope).
+
+Every finding accepts the standard `// analyze: allow(<check>): <why>`
+suppression.  Extending the sink registry is one dict entry; extending
+the owning/view type sets is one set entry.
+"""
+
+from __future__ import annotations
+
+from cpptok import Tok
+from include_graph import Finding
+import lock_graph as lg
+import call_graph as cgm
+
+CHECK_ESCAPE = "escaping-ref-capture"
+CHECK_RETURN = "dangling-return"
+CHECK_MOVE = "use-after-move"
+CHECK_VIEW = "view-field"
+
+# Qualified callees whose callable argument runs after the calling frame
+# returned. parallel_for is deliberately absent: it joins before returning.
+DEFERRED_SINKS = {
+    "ThreadPool::submit":
+        "the task runs on a worker thread after the submitting frame "
+        "returns",
+    "CompletionQueue::push":
+        "the completion crosses to another thread and outlives the "
+        "pushing frame",
+}
+
+# Types that own their storage: a view/reference into one dies with it.
+OWNING_TYPES = {
+    "string", "vector", "deque", "array", "map", "set", "unordered_map",
+    "unordered_set", "ostringstream", "stringstream",
+}
+VIEW_TYPES = {"string_view", "span"}
+# Field types whose destructor joins the threads it owns.
+THREAD_OWNER_TYPES = {"ThreadPool", "thread", "jthread"}
+JOIN_CALLS = ("join", "shutdown", "wait_idle")
+# Mutations that re-establish a moved-from object as readable.
+_CLEARING_METHODS = {"clear", "reset", "assign", "swap"}
+
+# Keyword-ish tokens after which a '[' opens a lambda, not a subscript.
+_LAMBDA_PREV_KEYWORDS = {"return", "co_return", "co_yield", "else", "do"}
+
+
+# --------------------------------------------------------------------------
+# Token helpers
+# --------------------------------------------------------------------------
+
+def _skip_angles(toks: list[Tok], i: int) -> int:
+    """toks[i] is '<'; return index just past the matching '>'."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if toks[i].kind == "punct":
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i + 1
+            elif t in (";", "{"):
+                return i  # not a template argument list after all
+        i += 1
+    return len(toks)
+
+
+def _match_square(toks: list[Tok], i: int) -> int:
+    """toks[i] is '['; return index of the matching ']'."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if toks[i].kind == "punct":
+            if t == "[":
+                depth += 1
+            elif t == "]":
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return len(toks) - 1
+
+
+def _split_top_commas(toks: list[Tok]) -> list[list[Tok]]:
+    groups: list[list[Tok]] = [[]]
+    depth = 0
+    for t in toks:
+        if t.kind == "punct":
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                groups.append([])
+                continue
+        groups[-1].append(t)
+    return [g for g in groups if g]
+
+
+# --------------------------------------------------------------------------
+# Lambda discovery + capture classification
+# --------------------------------------------------------------------------
+
+def find_lambdas(toks: list[Tok], lo: int = 0,
+                 hi: int | None = None) -> list[dict]:
+    """Every lambda introducer in toks[lo:hi): dicts with
+    `intro` (index of '['), `close` (index of ']'), `captures`
+    (comma-split token groups), and `body` ((lo, hi) token range of the
+    lambda body, or None for a body-less parse)."""
+    hi = len(toks) if hi is None else hi
+    out: list[dict] = []
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.kind != "punct" or t.text != "[":
+            i += 1
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        if prev is not None:
+            # after a value-ish token this '[' is a subscript
+            if prev.kind in ("num", "str", "char"):
+                i += 1
+                continue
+            if prev.kind == "id" and prev.text not in _LAMBDA_PREV_KEYWORDS:
+                i += 1
+                continue
+            if prev.kind == "punct" and prev.text in (")", "]"):
+                i += 1
+                continue
+        close = _match_square(toks, i)
+        j = close + 1
+        # a lambda continues with ( params ), specifiers, -> ret, or '{'
+        looks_like_lambda = (
+            j < len(toks) and (
+                toks[j].text in ("(", "{", "->")
+                or (toks[j].kind == "id"
+                    and toks[j].text in ("mutable", "constexpr", "noexcept"))
+            ))
+        if not looks_like_lambda:
+            i = close + 1
+            continue
+        # locate the body brace
+        k = j
+        if k < len(toks) and toks[k].text == "(":
+            k = lg._match_paren(toks, k)
+        while k < len(toks) and toks[k].text != "{":
+            if toks[k].text in (";", ")"):
+                k = len(toks)
+                break
+            k += 1
+        body = None
+        if k < len(toks) and toks[k].text == "{":
+            body = (k + 1, lg._match_brace(toks, k) - 1)
+        out.append({
+            "intro": i, "close": close,
+            "captures": _split_top_commas(toks[i + 1:close]),
+            "body": body,
+        })
+        i = close + 1
+    return out
+
+
+def classify_captures(groups: list[list[Tok]]) -> list[dict]:
+    """Capture groups -> [{kind, name, line}]; kinds:
+    default-ref `[&]`, default-copy `[=]`, this, ref `[&x]`,
+    init-ref `[&x = e]`, init-this `[p = this]`, init-addr `[p = &e]`,
+    value `[x]` (returned so the caller can test raw-pointer locals)."""
+    out: list[dict] = []
+    for g in groups:
+        texts = [t.text for t in g]
+        line = g[0].line
+        if texts == ["&"]:
+            out.append({"kind": "default-ref", "name": "&", "line": line})
+        elif texts == ["="]:
+            out.append({"kind": "default-copy", "name": "=", "line": line})
+        elif texts == ["this"]:
+            out.append({"kind": "this", "name": "this", "line": line})
+        elif texts[:2] == ["*", "this"]:
+            continue  # by-value copy of the object: safe
+        elif "=" in texts:
+            eq = texts.index("=")
+            name = texts[eq - 1] if eq >= 1 else "?"
+            rhs = texts[eq + 1:]
+            if "&" in texts[:eq]:
+                out.append({"kind": "init-ref", "name": name, "line": line})
+            elif rhs == ["this"]:
+                out.append({"kind": "init-this", "name": name, "line": line})
+            elif rhs[:1] == ["&"]:
+                out.append({"kind": "init-addr", "name": name, "line": line})
+            # [x = std::move(y)], [x = y]: by-value, safe
+        elif texts[0] == "&":
+            name = next((t.text for t in g[1:] if t.kind == "id"), "?")
+            out.append({"kind": "ref", "name": name, "line": line})
+        else:
+            name = next((t.text for t in g if t.kind == "id"), None)
+            if name is not None:
+                out.append({"kind": "value", "name": name, "line": line})
+    return out
+
+
+# --------------------------------------------------------------------------
+# Parameter / local classification shared by the checks
+# --------------------------------------------------------------------------
+
+def _param_groups(body: lg.FuncBody) -> list[list[Tok]]:
+    sig = body.sig_toks
+    parens = lg._paren_indices_at_angle0(sig)
+    if not parens:
+        return []
+    p = parens[0]
+    end = lg._match_paren(sig, p)
+    return _split_top_commas(sig[p + 1:end - 1])
+
+
+def _group_has_top_ref_or_ptr(g: list[Tok]) -> bool:
+    angle = 0
+    for t in g:
+        if t.kind != "punct":
+            continue
+        if t.text == "<":
+            angle += 1
+        elif t.text == ">":
+            angle = max(0, angle - 1)
+        elif t.text == ">>":
+            angle = max(0, angle - 2)
+        elif t.text in ("&", "*", "&&") and angle == 0:
+            return True
+    return False
+
+
+def byvalue_owning_params(body: lg.FuncBody) -> dict[str, str]:
+    """name -> type id for parameters passed by value whose type owns its
+    storage (std::string s, std::vector<float> v, ...)."""
+    out: dict[str, str] = {}
+    for g in _param_groups(body):
+        if _group_has_top_ref_or_ptr(g):
+            continue
+        ids = [t for t in g if t.kind == "id"]
+        if len(ids) < 2:
+            continue
+        name = ids[-1].text
+        type_ids = {t.text for t in ids[:-1]}
+        owning = type_ids & OWNING_TYPES
+        if owning and not (type_ids & VIEW_TYPES):
+            out[name] = sorted(owning)[0]
+    return out
+
+
+def callable_params(model: lg.Model, body: lg.FuncBody) -> set[str]:
+    """Parameter names whose type is std::function or a known alias."""
+    fn_types = {"function"} | model.fn_aliases
+    out: set[str] = set()
+    for g in _param_groups(body):
+        ids = [t for t in g if t.kind == "id"]
+        if len(ids) < 2:
+            continue
+        if {t.text for t in ids[:-1]} & fn_types:
+            out.add(ids[-1].text)
+    return out
+
+
+def raw_pointer_names(body: lg.FuncBody) -> set[str]:
+    """Locals/params declared as `T* name` — heuristic: '*' whose next
+    token is the declared name, in declaration position (after '(', ',',
+    ';', '{', '}' or 'const' + a type id)."""
+    out: set[str] = set()
+    for toks in (body.sig_toks, body.toks):
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "punct" or t.text != "*":
+                continue
+            if i < 1 or i + 1 >= n:
+                continue
+            if toks[i - 1].kind != "id" or toks[i + 1].kind != "id":
+                continue
+            if toks[i - 1].text in lg.KEYWORDS:
+                continue
+            nxt2 = toks[i + 2].text if i + 2 < n else ""
+            if nxt2 not in (",", ")", ";", "=", "{"):
+                continue
+            # declaration position: walk back over the type tokens
+            k = i - 1
+            while k >= 0 and (toks[k].kind == "id"
+                              or toks[k].text in ("::", "<", ">", ">>",
+                                                  "const")):
+                k -= 1
+            if k < 0 or (toks[k].kind == "punct"
+                         and toks[k].text in ("(", ",", ";", "{", "}")):
+                out.add(toks[i + 1].text)
+    return out
+
+
+def owning_locals(body: lg.FuncBody) -> dict[str, int]:
+    """name -> line of by-value locals of owning type declared in the
+    body (static/thread_local storage excluded: those outlive returns)."""
+    out: dict[str, int] = {}
+    toks = body.toks
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind != "id" or t.text not in OWNING_TYPES:
+            i += 1
+            continue
+        # storage class: scan back over std:: qualifiers and const
+        k = i - 1
+        while k >= 0 and (toks[k].text in ("::", "std", "const")):
+            k -= 1
+        if k >= 0 and toks[k].kind == "id" and toks[k].text in (
+                "static", "thread_local"):
+            i += 1
+            continue
+        j = i + 1
+        if j < n and toks[j].text == "<":
+            j = _skip_angles(toks, j)
+        while j < n and toks[j].text == "const":
+            j += 1
+        if j < n and toks[j].kind == "punct" and toks[j].text in (
+                "&", "&&", "*"):
+            i = j + 1
+            continue  # reference/pointer declaration: not owning-by-value
+        if j < n and toks[j].kind == "id":
+            nxt = toks[j + 1].text if j + 1 < n else ""
+            if nxt in ("=", "{", "(", ";"):
+                out.setdefault(toks[j].text, toks[j].line)
+            i = j + 1
+            continue
+        i = j + 1
+    return out
+
+
+# --------------------------------------------------------------------------
+# Sink registry + transitive propagation
+# --------------------------------------------------------------------------
+
+def propagate_sinks(model: lg.Model, cg: cgm.CallGraph) -> dict[str, str]:
+    """DEFERRED_SINKS plus every wrapper that forwards a callable
+    parameter into a known sink, to a fixpoint over the call graph."""
+    sinks = dict(DEFERRED_SINKS)
+    changed = True
+    while changed:
+        changed = False
+        for qual, bodies in cg.nodes.items():
+            if qual in sinks:
+                continue
+            for body in bodies:
+                pnames = callable_params(model, body)
+                if not pnames:
+                    continue
+                via = _forwards_callable_to_sink(cg, body, pnames, sinks)
+                if via is not None:
+                    sinks[qual] = (f"forwards its callable parameter into "
+                                   f"deferred sink {via}")
+                    changed = True
+                    break
+    return sinks
+
+
+def _forwards_callable_to_sink(cg: cgm.CallGraph, body: lg.FuncBody,
+                               pnames: set[str],
+                               sinks: dict[str, str]) -> str | None:
+    toks = body.toks
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        if t.text in lg.KEYWORDS:
+            continue
+        recv = lg._receiver(toks, i)
+        qual = lg._qualifier(toks, i)
+        targets = cg.resolve_site(body, toks, i, t.text, recv, qual)
+        hit = next((tq for tq in targets if tq in sinks), None)
+        if hit is None:
+            continue
+        end = lg._match_paren(toks, i + 1)
+        if any(a.kind == "id" and a.text in pnames
+               for a in toks[i + 2:end - 1]):
+            return hit
+    return None
+
+
+# --------------------------------------------------------------------------
+# Join-in-destructor exemption
+# --------------------------------------------------------------------------
+
+def _dtor_reachable_bodies(cg: cgm.CallGraph, cls_name: str):
+    start = f"{cls_name}::~{cls_name}"
+    if start not in cg.nodes:
+        return
+    seen = {start}
+    queue = [start]
+    while queue:
+        q = queue.pop(0)
+        for b in cg.nodes.get(q, ()):
+            yield b
+        for e in cg.edges.get(q, ()):
+            if e.target not in seen and e.target in cg.nodes:
+                seen.add(e.target)
+                queue.append(e.target)
+
+
+def _field_join_proven(model: lg.Model, cg: cgm.CallGraph,
+                       cls: lg.ClassInfo, fname: str) -> bool:
+    """True when field `fname` of `cls` provably joins its threads before
+    sibling state dies: thread-owning type AND (declared last OR the
+    destructor transitively join/shutdown/wait_idle's it)."""
+    fld = cls.fields.get(fname)
+    if fld is None:
+        return False
+    if not (set(fld.type_ids) & THREAD_OWNER_TYPES):
+        return False
+    names = list(cls.fields)
+    if names and names[-1] == fname:
+        return True
+    for b in _dtor_reachable_bodies(cg, cls.name):
+        toks = b.toks
+        for k, t in enumerate(toks):
+            if (t.kind == "id" and t.text == fname
+                    and k + 3 < len(toks)
+                    and toks[k + 1].text in (".", "->")
+                    and toks[k + 2].text in JOIN_CALLS
+                    and toks[k + 3].text == "("):
+                return True
+    return False
+
+
+def _self_join_proven(cg: cgm.CallGraph, cls_name: str) -> bool:
+    """For sinks that are methods of the enclosing class itself (a pool
+    submitting to itself, a server pushing to its own queue): the class's
+    destructor transitively reaches any join-shaped call."""
+    for b in _dtor_reachable_bodies(cg, cls_name):
+        toks = b.toks
+        for k, t in enumerate(toks):
+            if (t.kind == "id" and t.text in JOIN_CALLS
+                    and k + 1 < len(toks) and toks[k + 1].text == "("):
+                return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# escaping-ref-capture
+# --------------------------------------------------------------------------
+
+def _lambda_names_field(toks: list[Tok], body_range,
+                        cls: lg.ClassInfo | None) -> bool:
+    if cls is None or body_range is None:
+        return False
+    lo, hi = body_range
+    fields = set(cls.fields)
+    return any(t.kind == "id" and (t.text in fields or t.text == "this")
+               for t in toks[lo:hi])
+
+
+def _flag_captures(body: lg.FuncBody, model: lg.Model, toks: list[Tok],
+                   lambdas: list[dict], sink_desc: str,
+                   member_exempt: bool) -> list[Finding]:
+    """Classify every lambda's captures against one sink.  `member_exempt`
+    is the join-in-destructor verdict for the receiver: it excuses `this`
+    and member-reference captures, never refs to locals/params."""
+    findings: list[Finding] = []
+    cls = model.classes.get(body.cls) if body.cls else None
+    ptr_names = raw_pointer_names(body)
+    field_names = set(cls.fields) if cls else set()
+    for lam in lambdas:
+        for cap in classify_captures(lam["captures"]):
+            kind, name, line = cap["kind"], cap["name"], cap["line"]
+            if kind in ("this", "init-this"):
+                if member_exempt:
+                    continue
+                findings.append(Finding(
+                    body.file, line, CHECK_ESCAPE,
+                    f"lambda captures `this` and escapes into {sink_desc} "
+                    "— the object can be destroyed before the task runs; "
+                    "copy the needed state by value, or prove the "
+                    "join-in-destructor pattern (thread owner declared "
+                    "last, or joined in the destructor)"))
+            elif kind == "default-ref":
+                findings.append(Finding(
+                    body.file, line, CHECK_ESCAPE,
+                    f"lambda captures by reference (`[&]`) and escapes "
+                    f"into {sink_desc} — every captured stack slot can "
+                    "die before the task runs; capture explicitly by "
+                    "value"))
+            elif kind in ("ref", "init-ref"):
+                if name in field_names and member_exempt:
+                    continue  # member ref, lifetime tied to joined `this`
+                what = (f"member '{name}'" if name in field_names
+                        else f"local/parameter '{name}'")
+                findings.append(Finding(
+                    body.file, line, CHECK_ESCAPE,
+                    f"lambda captures {what} by reference and escapes "
+                    f"into {sink_desc} — the referent dies with the "
+                    "submitting frame; capture by value"))
+            elif kind == "init-addr":
+                findings.append(Finding(
+                    body.file, line, CHECK_ESCAPE,
+                    f"lambda capture '{name}' stores the address of a "
+                    f"stack object and escapes into {sink_desc}; copy "
+                    "the value instead"))
+            elif kind == "default-copy":
+                if _lambda_names_field(toks, lam["body"], cls):
+                    if member_exempt:
+                        continue
+                    findings.append(Finding(
+                        body.file, line, CHECK_ESCAPE,
+                        f"`[=]` in a member function implicitly captures "
+                        f"`this` (the lambda names a field) and escapes "
+                        f"into {sink_desc}; capture the needed members "
+                        "by value explicitly"))
+            elif kind == "value":
+                if name in ptr_names:
+                    findings.append(Finding(
+                        body.file, line, CHECK_ESCAPE,
+                        f"lambda captures raw pointer '{name}' by value "
+                        f"and escapes into {sink_desc} — the pointee's "
+                        "lifetime is unmanaged; pass owning state "
+                        "(by value / shared_ptr)"))
+    return findings
+
+
+def _check_captures(body: lg.FuncBody, model: lg.Model, cg: cgm.CallGraph,
+                    sinks: dict[str, str]) -> list[Finding]:
+    findings: list[Finding] = []
+    toks = body.toks
+    n = len(toks)
+    cls = model.classes.get(body.cls) if body.cls else None
+    locals_map = cgm.local_types(cg, body)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind != "id":
+            i += 1
+            continue
+
+        # std::thread construction: `std :: thread name? ( ... )` / `{...}`
+        if (t.text == "thread" and i >= 2 and toks[i - 1].text == "::"
+                and toks[i - 2].text == "std" and i + 1 < n):
+            i = _handle_thread_ctor(body, model, cg, toks, i, findings)
+            continue
+
+        nxt = toks[i + 1].text if i + 1 < n else ""
+        if nxt != "(" or t.text in lg.KEYWORDS:
+            # std::function field assignment: `fld = [caps] ... ;`
+            if (nxt == "=" and i + 2 < n and toks[i + 2].text == "["
+                    and _is_fn_field_name(model, body, t.text)):
+                end = _stmt_end(toks, i + 2)
+                lambdas = find_lambdas(toks, i + 2, end)
+                member_exempt = bool(cls) and t.text in cls.fields
+                findings.extend(_flag_captures(
+                    body, model, toks, lambdas,
+                    f"std::function field '{t.text}' (outlives the "
+                    "assigning frame)",
+                    member_exempt=member_exempt))
+                i = end
+                continue
+            i += 1
+            continue
+
+        recv = lg._receiver(toks, i)
+        qual = lg._qualifier(toks, i)
+        targets = cg.resolve_site(body, toks, i, t.text, recv, qual)
+        hit = next((tq for tq in targets if tq in sinks), None)
+        if hit is None:
+            i += 1
+            continue
+        end = lg._match_paren(toks, i + 1)
+        lambdas = find_lambdas(toks, i + 2, end - 1)
+        if not lambdas:
+            i = end
+            continue
+        member_exempt = _receiver_exempt(body, model, cg, cls, locals_map,
+                                         recv, hit)
+        findings.extend(_flag_captures(
+            body, model, toks, lambdas,
+            f"deferred sink {hit} ({sinks[hit]})", member_exempt))
+        i = end
+    return findings
+
+
+def _receiver_exempt(body, model, cg, cls, locals_map, recv,
+                     sink_qual) -> bool:
+    if recv is None or recv == "this":
+        # bare call: sink is (or is inherited by) the enclosing class
+        return cls is not None and _self_join_proven(cg, cls.name)
+    if cls is not None and recv in cls.fields:
+        fld = cls.fields[recv]
+        if set(fld.type_ids) & THREAD_OWNER_TYPES:
+            return _field_join_proven(model, cg, cls, recv)
+        # receiver owned by this object but not a thread owner (e.g. the
+        # completion queue): the tasks' lifetime is governed by whatever
+        # drains it — exempt only if the whole object provably joins.
+        return _self_join_proven(cg, cls.name)
+    if recv in locals_map:
+        return True  # local pool: its destructor joins at end of scope
+    return False
+
+
+def _handle_thread_ctor(body, model, cg, toks, i, findings) -> int:
+    n = len(toks)
+    cls = model.classes.get(body.cls) if body.cls else None
+    nxt = toks[i + 1]
+    target = None        # field or local receiving the thread
+    local_decl = None    # name of a local std::thread variable
+    open_idx = None
+    if nxt.text in ("(", "{"):
+        # construction expression; assignment target is `name =` before std
+        k = i - 3  # skip `:: std` backwards from `thread`
+        if k >= 1 and toks[k].text == "=" and toks[k - 1].kind == "id":
+            target = toks[k - 1].text
+        open_idx = i + 1
+    elif nxt.kind == "id" and i + 2 < n and toks[i + 2].text in ("(", "{"):
+        local_decl = nxt.text
+        open_idx = i + 2
+    if open_idx is None:
+        return i + 1
+    end = (lg._match_paren(toks, open_idx) if toks[open_idx].text == "("
+           else lg._match_brace(toks, open_idx))
+    lambdas = find_lambdas(toks, open_idx + 1, end - 1)
+    if not lambdas:
+        return end
+    if local_decl is not None:
+        member_exempt = _local_thread_joined(toks, end, local_decl)
+    elif target is not None and cls is not None and target in cls.fields:
+        member_exempt = _field_join_proven(model, cg, cls, target)
+    else:
+        member_exempt = False
+    where = (f"std::thread '{local_decl or target or '<temporary>'}'")
+    findings.extend(_flag_captures(
+        body, model, toks, lambdas,
+        f"{where} (runs after the constructing frame unless joined)",
+        member_exempt))
+    return end
+
+
+def _local_thread_joined(toks, start, name) -> bool:
+    n = len(toks)
+    for k in range(start, n - 3):
+        if (toks[k].kind == "id" and toks[k].text == name
+                and toks[k + 1].text == "."
+                and toks[k + 2].text == "join"
+                and toks[k + 3].text == "("):
+            return True
+    return False
+
+
+def _is_fn_field_name(model: lg.Model, body: lg.FuncBody, name: str) -> bool:
+    fn_types = {"function"} | model.fn_aliases
+    cls = model.classes.get(body.cls) if body.cls else None
+    fields = ([cls.fields[name]] if cls and name in cls.fields
+              else model.field_index.get(name, []))
+    return any(set(f.type_ids) & fn_types for f in fields)
+
+
+def _stmt_end(toks, i) -> int:
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i].text
+        if toks[i].kind == "punct":
+            if t in ("(", "[", "{"):
+                depth += 1
+            elif t in (")", "]", "}"):
+                depth -= 1
+            elif t == ";" and depth == 0:
+                return i
+        i += 1
+    return n
+
+
+# --------------------------------------------------------------------------
+# dangling-return
+# --------------------------------------------------------------------------
+
+def _return_type_features(body: lg.FuncBody):
+    """(is_ref, is_ptr, is_view) of the declared return type, or None for
+    constructors/destructors/operators/unparseable signatures."""
+    sig = body.sig_toks
+    parens = lg._paren_indices_at_angle0(sig)
+    if not parens or parens[0] == 0:
+        return None
+    p = parens[0]
+    rt = list(sig[:p - 1])
+    while rt and rt[-1].text == "~":
+        rt.pop()
+    while len(rt) >= 2 and rt[-1].text == "::" and rt[-2].kind == "id":
+        rt = rt[:-2]
+    ids = {t.text for t in rt if t.kind == "id"}
+    if "operator" in ids:
+        return None
+    specifiers = {"inline", "static", "virtual", "constexpr", "explicit",
+                  "friend", "const", "extern", "VIZ_API"}
+    if not ids - specifiers:
+        return None  # constructor / destructor / conversion
+    is_ref = is_ptr = False
+    angle = 0
+    for t in rt:
+        if t.kind != "punct":
+            continue
+        if t.text == "<":
+            angle += 1
+        elif t.text == ">":
+            angle = max(0, angle - 1)
+        elif t.text == ">>":
+            angle = max(0, angle - 2)
+        elif t.text == "&" and angle == 0:
+            is_ref = True
+        elif t.text == "*" and angle == 0:
+            is_ptr = True
+    is_view = bool(ids & VIEW_TYPES) and not is_ref and not is_ptr
+    if not (is_ref or is_ptr or is_view):
+        return None
+    return is_ref, is_ptr, is_view
+
+
+def _lambda_token_mask(toks: list[Tok]) -> list[bool]:
+    """mask[i] == True for tokens inside some lambda body (their `return`
+    belongs to the lambda, not the enclosing function)."""
+    mask = [False] * len(toks)
+    for lam in find_lambdas(toks):
+        if lam["body"] is not None:
+            lo, hi = lam["body"]
+            for k in range(lo, hi):
+                mask[k] = True
+    return mask
+
+
+def _check_dangling_return(body: lg.FuncBody) -> list[Finding]:
+    feats = _return_type_features(body)
+    if feats is None:
+        return []
+    is_ref, is_ptr, is_view = feats
+    owners: dict[str, str] = {
+        name: f"local '{name}' (line {line})"
+        for name, line in owning_locals(body).items()}
+    for name, ty in byvalue_owning_params(body).items():
+        owners[name] = f"by-value parameter '{name}' ({ty})"
+    if not owners:
+        return []
+    findings: list[Finding] = []
+    toks = body.toks
+    n = len(toks)
+    mask = _lambda_token_mask(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind != "id" or t.text != "return" or mask[i]:
+            i += 1
+            continue
+        end = _stmt_end(toks, i + 1)
+        expr = toks[i + 1:end]
+        i = end + 1
+        if not expr:
+            continue
+        kind_word = ("reference" if is_ref
+                     else "pointer" if is_ptr else
+                     "string_view/span")
+        if is_ptr and expr[0].text == "&" and len(expr) >= 2 \
+                and expr[1].kind == "id" and expr[1].text in owners:
+            findings.append(Finding(
+                body.file, expr[0].line, CHECK_RETURN,
+                f"returning the address of {owners[expr[1].text]} — it is "
+                "destroyed when the function returns"))
+            continue
+        first = next((e for e in expr
+                      if e.kind == "id" and e.text not in ("std", "move")),
+                     None)
+        if first is None or first.text not in owners:
+            continue
+        if is_ref and not (len(expr) == 1
+                           or (expr[0] is first and len(expr) > 1
+                               and expr[1].text in (".", "->"))):
+            continue
+        findings.append(Finding(
+            body.file, first.line, CHECK_RETURN,
+            f"returning a {kind_word} tied to {owners[first.text]} — the "
+            "storage is destroyed when the function returns; return by "
+            "value or point the view at state that outlives the call"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# use-after-move
+# --------------------------------------------------------------------------
+
+def _move_path(toks: list[Tok], lo: int, hi: int):
+    """The exact id/./-> path inside std::move(...), or None when the
+    argument is any more complex expression (calls, indexing, casts)."""
+    parts: list[str] = []
+    expect_id = True
+    for t in toks[lo:hi]:
+        if expect_id:
+            if t.kind != "id":
+                return None
+            parts.append(t.text)
+            expect_id = False
+        else:
+            if t.kind == "punct" and t.text in (".", "->"):
+                expect_id = True
+            else:
+                return None
+    if expect_id or not parts:
+        return None
+    return tuple(parts)
+
+
+def _path_matches(toks: list[Tok], i: int, path: tuple) -> int | None:
+    """If the token sequence at i spells `path` (anchored: the previous
+    token is not a member/scope accessor), return the index just past the
+    path, else None."""
+    if i > 0 and toks[i - 1].kind == "punct" \
+            and toks[i - 1].text in (".", "->", "::"):
+        return None
+    k = i
+    n = len(toks)
+    for step, part in enumerate(path):
+        if k >= n or toks[k].kind != "id" or toks[k].text != part:
+            return None
+        k += 1
+        if step + 1 < len(path):
+            if k >= n or toks[k].text not in (".", "->"):
+                return None
+            k += 1
+    return k
+
+
+def _in_structured_binding(toks: list[Tok], i: int) -> bool:
+    """True when toks[i] is a name introduced by `auto [a, b] = ...` /
+    `for (const auto& [a, b] : ...)` — a fresh declaration, not a read."""
+    k = i - 1
+    while k >= 0 and (toks[k].kind == "id" or toks[k].text == ","):
+        k -= 1
+    if k < 0 or toks[k].text != "[":
+        return False
+    k -= 1
+    while k >= 0 and toks[k].kind == "punct" and toks[k].text in ("&", "&&"):
+        k -= 1
+    return k >= 0 and toks[k].kind == "id" and toks[k].text == "auto"
+
+
+def _check_use_after_move(body: lg.FuncBody) -> list[Finding]:
+    findings: list[Finding] = []
+    toks = body.toks
+    n = len(toks)
+    moved: dict[tuple, int] = {}  # path -> line of the move
+    i = 0
+    while i < n:
+        t = toks[i]
+        # `std :: move ( path )`
+        if (t.kind == "id" and t.text == "std" and i + 3 < n
+                and toks[i + 1].text == "::" and toks[i + 2].text == "move"
+                and toks[i + 3].text == "("):
+            end = lg._match_paren(toks, i + 3)
+            path = _move_path(toks, i + 4, end - 1)
+            if path is not None:
+                if path in moved:
+                    findings.append(Finding(
+                        body.file, t.line, CHECK_MOVE,
+                        f"'{'.'.join(path)}' moved again after the move on "
+                        f"line {moved[path]} — the first move already "
+                        "emptied it"))
+                moved[path] = t.line
+            i = end
+            continue
+        if t.kind == "id" and moved:
+            for path in list(moved):
+                if t.text != path[0]:
+                    continue
+                after = _path_matches(toks, i, path)
+                if after is None:
+                    continue
+                nxt = toks[after].text if after < n else ""
+                nxt2 = toks[after + 1].text if after + 1 < n else ""
+                if nxt == "=":
+                    del moved[path]  # reassigned: readable again
+                elif nxt in (".", "->") and nxt2 in _CLEARING_METHODS:
+                    del moved[path]
+                elif (i >= 2 and toks[i - 1].text == "("
+                        and toks[i - 2].text == "swap"):
+                    del moved[path]
+                elif _in_structured_binding(toks, i):
+                    del moved[path]  # fresh name shadows the moved one
+                else:
+                    findings.append(Finding(
+                        body.file, t.line, CHECK_MOVE,
+                        f"'{'.'.join(path)}' read after being moved on "
+                        f"line {moved[path]} — a moved-from object has an "
+                        "unspecified value; reassign or clear() it first"))
+                    del moved[path]  # report once per move
+                i = after - 1
+                break
+        i += 1
+    return findings
+
+
+# --------------------------------------------------------------------------
+# view-field
+# --------------------------------------------------------------------------
+
+def _ctor_init_items(body: lg.FuncBody):
+    """(field_name, expr_toks) items of a constructor's init-list, parsed
+    from sig_toks (everything before the body brace)."""
+    sig = body.sig_toks
+    parens = lg._paren_indices_at_angle0(sig)
+    if not parens:
+        return
+    pe = lg._match_paren(sig, parens[0])
+    i = pe
+    n = len(sig)
+    # skip noexcept(...) / specifiers to the init-list colon
+    while i < n and not (sig[i].kind == "punct" and sig[i].text == ":"):
+        if sig[i].text == "(":
+            i = lg._match_paren(sig, i)
+            continue
+        i += 1
+    i += 1
+    while i < n:
+        if sig[i].kind != "id":
+            i += 1
+            continue
+        name = sig[i].text
+        j = i + 1
+        if j < n and sig[j].text == "<":
+            j = _skip_angles(sig, j)
+        if j >= n or sig[j].text not in ("(", "{"):
+            i += 1
+            continue
+        end = (lg._match_paren(sig, j) if sig[j].text == "("
+               else lg._match_brace(sig, j))
+        yield name, sig[j + 1:end - 1], sig[i].line
+        i = end
+
+
+def _check_view_fields(model: lg.Model) -> list[Finding]:
+    findings: list[Finding] = []
+    for body in model.bodies:
+        if not body.file.startswith("src/"):
+            continue
+        if not body.cls or body.name != body.cls:
+            continue  # not a constructor
+        cls = model.classes.get(body.cls)
+        if cls is None:
+            continue
+        view_fields = {name for name, f in cls.fields.items()
+                       if set(f.type_ids) & VIEW_TYPES}
+        if not view_fields:
+            continue
+        owning_params = byvalue_owning_params(body)
+        for name, expr, line in _ctor_init_items(body):
+            if name not in view_fields:
+                continue
+            bound = next((t.text for t in expr
+                          if t.kind == "id" and t.text in owning_params),
+                         None)
+            if bound is not None:
+                findings.append(Finding(
+                    body.file, line, CHECK_VIEW,
+                    f"view field '{name}' is bound to by-value parameter "
+                    f"'{bound}' — the parameter is destroyed when the "
+                    "constructor returns; store an owning copy or take "
+                    "the argument as a view"))
+                continue
+            makes_temp = any(t.kind == "id" and t.text in OWNING_TYPES
+                             for t in expr)
+            top_plus = any(
+                t.kind == "punct" and t.text == "+"
+                for k, t in enumerate(expr)
+                if not _inside_nesting(expr, k))
+            if makes_temp or top_plus:
+                findings.append(Finding(
+                    body.file, line, CHECK_VIEW,
+                    f"view field '{name}' is initialized from a temporary "
+                    "— the temporary dies at the end of the constructor's "
+                    "init-list; store an owning field instead"))
+    return findings
+
+
+def _inside_nesting(toks: list[Tok], idx: int) -> bool:
+    depth = 0
+    for t in toks[:idx]:
+        if t.kind == "punct":
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                depth -= 1
+    return depth > 0
+
+
+# --------------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------------
+
+def check_lifetime(model: lg.Model, cg: cgm.CallGraph) -> list[Finding]:
+    """Run all four lifetime checks over src/ bodies."""
+    findings: list[Finding] = []
+    sinks = propagate_sinks(model, cg)
+    for body in model.bodies:
+        if not body.file.startswith("src/"):
+            continue
+        findings.extend(_check_captures(body, model, cg, sinks))
+        findings.extend(_check_dangling_return(body))
+        findings.extend(_check_use_after_move(body))
+    findings.extend(_check_view_fields(model))
+    return findings

@@ -401,7 +401,16 @@ class _Parser:
         name = nm.text
         # owning class: 'Cls :: name (' in a .cpp, else the enclosing class
         owner = cls.name if cls is not None else None
-        if p >= 3 and clean[p - 2].text == "::" and clean[p - 3].kind == "id":
+        if p >= 2 and clean[p - 2].text == "~":
+            # destructor: '~Cls()' in-class or 'Cls::~Cls()' out-of-line.
+            # Named '~Cls' so it gets its own call-graph node instead of
+            # merging into the constructor (in-class) or a free function
+            # (out-of-line, where '::' sits at p-3, not p-2).
+            name = "~" + name
+            if p >= 4 and clean[p - 3].text == "::" \
+                    and clean[p - 4].kind == "id":
+                owner = clean[p - 4].text
+        elif p >= 3 and clean[p - 2].text == "::" and clean[p - 3].kind == "id":
             owner = clean[p - 3].text
         sig = MethodSig(name=name, cls=owner or "")
         if "REQUIRES" in annots or "REQUIRES_SHARED" in annots:
